@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure from the paper's Section 10.
+The experiments themselves are expensive, so they run once per session and
+individual benchmarks time representative units while asserting the
+qualitative *shape* the paper reports (who wins, roughly by how much, where
+effects saturate) — per DESIGN.md, absolute numbers are not the target.
+
+Set ``REPRO_FULL=1`` to run the software-pipelining study at the paper's
+full population size (1928 loops) instead of the scaled default.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import run_lowend_experiment, run_swp_experiment
+from repro.workloads.spec_loops import generate_loop_population
+
+FULL = os.environ.get("REPRO_FULL") == "1"
+
+
+@pytest.fixture(scope="session")
+def lowend_exp():
+    """The complete Section 10.1 study over all MiBench-like kernels."""
+    return run_lowend_experiment(remap_restarts=50)
+
+
+@pytest.fixture(scope="session")
+def swp_exp():
+    """The Section 10.2 study; 160 loops by default, 1928 with REPRO_FULL."""
+    n = 1928 if FULL else 160
+    return run_swp_experiment(n_loops=n, seed=2005, remap_restarts=2)
+
+
+@pytest.fixture(scope="session")
+def swp_population():
+    n = 1928 if FULL else 160
+    return generate_loop_population(n=n, seed=2005)
+
+
+def show(table) -> None:
+    print()
+    print(table.render())

@@ -1,0 +1,54 @@
+"""Ablation: DiffN in the software-pipelining study.
+
+Section 10.2 fixes DiffN=32 (the directly encodable count).  Lowering DiffN
+shrinks the field width further but leaves less of the register circle in
+range, so the promoted ``set_last_reg`` count grows — pure code size, since
+the repairs sit before the loop (Section 8.1).  This sweep shows how far
+the field could shrink before the promoted preamble gets silly.
+"""
+
+from conftest import show
+
+from repro.experiments.reporting import Table
+from repro.swp import allocate_kernel, encode_kernel
+from repro.swp.modulo import ScheduleError
+from repro.workloads.spec_loops import generate_loop
+
+
+def _preamble_sizes(diff_n, allocs, restarts=2):
+    total = 0
+    for alloc in allocs:
+        rep = encode_kernel(alloc, diff_n=diff_n, restarts=restarts)
+        total += rep.n_setlr
+    return total
+
+
+def test_diffn_sweep(benchmark):
+    allocs = []
+    for i in range(10):
+        spec = generate_loop(1000 + i, big=True)
+        try:
+            allocs.append(allocate_kernel(spec.ddg, 48))
+        except ScheduleError:
+            continue
+    assert allocs
+
+    sweep = {}
+    for diff_n in (8, 16, 24, 32, 48):
+        sweep[diff_n] = _preamble_sizes(diff_n, allocs)
+    benchmark.pedantic(_preamble_sizes, args=(32, allocs[:3]),
+                       rounds=1, iterations=1)
+
+    t = Table("Ablation: DiffN vs promoted set_last_reg "
+              "(RegN=48, 10 loops)",
+              ["DiffN", "field bits", "total promoted setlr"])
+    import math
+    for diff_n, setlr in sweep.items():
+        t.add_row(diff_n, max(1, math.ceil(math.log2(diff_n))), setlr)
+    show(t)
+
+    # repairs shrink monotonically as DiffN covers more of the circle,
+    # vanishing at DiffN == RegN
+    counts = [sweep[d] for d in sorted(sweep)]
+    assert counts == sorted(counts, reverse=True)
+    assert sweep[48] == 0

@@ -1,0 +1,51 @@
+"""Ablation (Section 8.1): compile-time MVE vs hardware rotating registers.
+
+"Although hardware managed rotating registers (for example in the Itanium
+processor) could help to reduce register pressure, they are not always
+available.  On the other hand, compile-time renaming through modulo
+variable expansion (MVE) has to unroll the loop kernel leading to higher
+register pressure" — and to larger code.  This bench measures the code-size
+side of that trade on the loop population: the same schedules accounted
+with MVE unrolling versus a rotating register file.
+"""
+
+from conftest import show
+
+from repro.experiments.reporting import Table
+from repro.swp import allocate_kernel
+from repro.swp.modulo import ScheduleError
+from repro.workloads.spec_loops import generate_loop_population
+
+
+def _sizes(reg_n, specs):
+    mve = rotating = 0
+    unrolled = 0
+    for spec in specs:
+        try:
+            alloc = allocate_kernel(spec.ddg, reg_n)
+        except ScheduleError:
+            continue
+        mve += alloc.code_size_ops(rotating=False)
+        rotating += alloc.code_size_ops(rotating=True)
+        if alloc.schedule.mve_unroll() > 1:
+            unrolled += 1
+    return mve, rotating, unrolled
+
+
+def test_mve_vs_rotating(benchmark):
+    specs = [s for s in generate_loop_population(n=60, seed=17)]
+    mve, rotating, unrolled = benchmark.pedantic(
+        _sizes, args=(48, specs), rounds=1, iterations=1
+    )
+
+    t = Table("Ablation: kernel code size, MVE vs rotating registers "
+              "(RegN=48, 60 loops)",
+              ["renaming", "static ops", "vs rotating"])
+    t.add_row("rotating register file", rotating, 1.0)
+    t.add_row("modulo variable expansion", mve, mve / rotating)
+    show(t)
+    print(f"    loops needing unroll > 1: {unrolled}")
+
+    assert mve >= rotating
+    if unrolled:
+        assert mve > rotating  # MVE pays real code size somewhere

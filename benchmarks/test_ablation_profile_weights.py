@@ -1,0 +1,44 @@
+"""Ablation (paper Section 4): static frequency estimates vs profiles.
+
+The paper uses static weight estimation and blames it for irregular
+per-benchmark speedups ("perhaps because we rely on static weight
+estimation instead of profile information").  We implement both; this bench
+quantifies what profile guidance buys on the Figure 14 metric.
+"""
+
+from conftest import show
+
+from repro.experiments import run_lowend_experiment
+from repro.experiments.reporting import Table, arith_mean
+from repro.workloads import MIBENCH
+
+
+def _avg_speedup(exp, setup):
+    vals = []
+    for b in exp.benchmarks():
+        base = exp.row(b, "baseline").cycles
+        vals.append(100.0 * (base / exp.row(b, setup).cycles - 1.0))
+    return arith_mean(vals)
+
+
+def test_profile_vs_static_weights(benchmark):
+    subset = MIBENCH[:6]
+    static = run_lowend_experiment(
+        workloads=subset, profile=False, remap_restarts=20,
+    )
+    profiled = benchmark(
+        run_lowend_experiment,
+        workloads=subset, profile=True, remap_restarts=20,
+    )
+
+    t = Table("Ablation: frequency weights (avg speedup %, select setup)",
+              ["weights", "remapping", "select", "coalesce"])
+    t.add_row("static (paper)", _avg_speedup(static, "remapping"),
+              _avg_speedup(static, "select"), _avg_speedup(static, "coalesce"))
+    t.add_row("profile", _avg_speedup(profiled, "remapping"),
+              _avg_speedup(profiled, "select"), _avg_speedup(profiled, "coalesce"))
+    show(t)
+
+    # both configurations must produce sane results; profile guidance should
+    # not be materially worse than static estimation on average
+    assert _avg_speedup(profiled, "select") > _avg_speedup(static, "select") - 5.0

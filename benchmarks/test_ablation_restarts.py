@@ -1,0 +1,42 @@
+"""Ablation (paper Section 5): random restarts in differential remapping.
+
+The paper restarts its greedy swap search from 1000 random register
+vectors.  This bench measures the marginal value of restarts on our
+kernels: the first descent captures most of the benefit, extra restarts
+buy a little more.
+"""
+
+from conftest import show
+
+from repro.experiments.reporting import Table, arith_mean
+from repro.regalloc import differential_remap, iterated_allocate
+from repro.workloads import MIBENCH
+
+
+def _avg_cost(allocs, restarts):
+    return arith_mean(
+        differential_remap(fn, 12, 8, restarts=restarts).cost_after
+        for fn in allocs
+    )
+
+
+def test_restart_ablation(benchmark):
+    allocs = [iterated_allocate(w.function(), 12).fn for w in MIBENCH[:6]]
+    baseline = arith_mean(
+        differential_remap(fn, 12, 8, restarts=1).cost_before for fn in allocs
+    )
+    one = _avg_cost(allocs, 1)
+    some = benchmark(_avg_cost, allocs, 25)
+    many = _avg_cost(allocs, 100)
+
+    t = Table("Ablation: remapping restarts (adjacency cost)",
+              ["restarts", "avg cost"])
+    t.add_row("0 (identity)", baseline)
+    t.add_row(1, one)
+    t.add_row(25, some)
+    t.add_row(100, many)
+    show(t)
+
+    assert one <= baseline
+    assert some <= one
+    assert many <= some

@@ -1,0 +1,39 @@
+"""Figure 11: static spill percentage over the entire code.
+
+Paper averages: baseline 10.44, remapping 6.87, select 6.84, O-spill 7.32,
+coalesce 5.55.  Shape to reproduce: the differential schemes spill far less
+than the baseline (they allocate with 12 registers instead of 8); O-spill
+sits between baseline and the differential schemes (optimal decisions, but
+still only 8 registers); coalesce is the best of all five.
+"""
+
+from conftest import show
+
+from repro.experiments.reporting import arith_mean
+
+
+def _avg_spill(exp, setup):
+    return arith_mean(
+        exp.row(b, setup).spill_fraction for b in exp.benchmarks()
+    )
+
+
+def test_fig11_static_spills(lowend_exp, benchmark):
+    table = benchmark(lowend_exp.fig11_spills)
+    show(table)
+
+    base = _avg_spill(lowend_exp, "baseline")
+    remap = _avg_spill(lowend_exp, "remapping")
+    select = _avg_spill(lowend_exp, "select")
+    ospill = _avg_spill(lowend_exp, "ospill")
+    coalesce = _avg_spill(lowend_exp, "coalesce")
+
+    # the paper's ordering
+    assert base > ospill, "optimal spilling must beat the baseline"
+    assert ospill > remap and ospill > select and ospill > coalesce, \
+        "12 differential registers must beat 8 optimally-spilled ones"
+    assert coalesce <= min(remap, select) + 0.02, \
+        "coalesce is the best (or ties) on spills"
+    # magnitude: differential schemes remove well over a third of spills
+    assert remap < 0.6 * base
+    assert select < 0.6 * base

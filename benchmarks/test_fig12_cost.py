@@ -1,0 +1,31 @@
+"""Figure 12: set_last_reg cost percentage for the differential schemes.
+
+Paper averages: remapping 10.41, select 4.21, coalesce 3.04.  Our kernels
+are denser than whole MiBench programs, so the absolute level is higher
+(see EXPERIMENTS.md); the shape that must hold is that the cost stays a
+bounded fraction of the code and never wipes out the spill savings that
+Figure 14 banks on.
+"""
+
+from conftest import show
+
+from repro.experiments.reporting import arith_mean
+
+
+def _avg_cost(exp, setup):
+    return arith_mean(
+        exp.row(b, setup).setlr_fraction for b in exp.benchmarks()
+    )
+
+
+def test_fig12_setlr_cost(lowend_exp, benchmark):
+    table = benchmark(lowend_exp.fig12_cost)
+    show(table)
+
+    for setup in ("remapping", "select", "coalesce"):
+        cost = _avg_cost(lowend_exp, setup)
+        assert 0.0 < cost < 0.35, f"{setup} cost out of plausible range"
+
+    # direct setups pay nothing
+    assert _avg_cost(lowend_exp, "baseline") == 0.0
+    assert _avg_cost(lowend_exp, "ospill") == 0.0

@@ -1,0 +1,29 @@
+"""Figure 13: code size relative to the baseline.
+
+Paper: remapping +7%, select <1%, O-spill -4%, coalesce -2%.  Shape to
+reproduce: O-spill *shrinks* the binary (fewer spill instructions, no
+set_last_reg); the differential schemes trade removed spills against added
+repairs and stay within ~±15% of the baseline on this fixed-width ISA.
+"""
+
+from conftest import show
+
+from repro.experiments.reporting import arith_mean
+
+
+def _avg_size(exp, setup):
+    return arith_mean(
+        exp.row(b, setup).instructions / exp.row(b, "baseline").instructions
+        for b in exp.benchmarks()
+    )
+
+
+def test_fig13_code_size(lowend_exp, benchmark):
+    table = benchmark(lowend_exp.fig13_codesize)
+    show(table)
+
+    assert _avg_size(lowend_exp, "ospill") < 1.0, \
+        "O-spill removes spill instructions and adds nothing"
+    for setup in ("remapping", "select", "coalesce"):
+        ratio = _avg_size(lowend_exp, setup)
+        assert 0.85 < ratio < 1.2, f"{setup} code size drifted: {ratio:.2f}"

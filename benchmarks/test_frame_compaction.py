@@ -1,0 +1,40 @@
+"""Frame compaction: spill-slot coalescing across the suite.
+
+Not a paper figure — the paper's machine keeps spills in a frame whose
+footprint competes for a 2KB D-cache; this bench reports how many distinct
+stack words each setup's frame needs before and after slot coalescing.
+"""
+
+from conftest import show
+
+from repro.experiments.reporting import Table
+from repro.regalloc import coalesce_spill_slots, run_setup
+from repro.workloads import MIBENCH
+
+
+def _frame_sizes(setup):
+    before = after = 0
+    for w in MIBENCH:
+        prog = run_setup(w.function(), setup, remap_restarts=5)
+        _, b, a = coalesce_spill_slots(prog.final_fn)
+        before += b
+        after += a
+    return before, after
+
+
+def test_frame_compaction(benchmark):
+    base_b, base_a = benchmark.pedantic(_frame_sizes, args=("baseline",),
+                                        rounds=1, iterations=1)
+    sel_b, sel_a = _frame_sizes("select")
+
+    t = Table("Frame slots across the suite (before -> after coalescing)",
+              ["setup", "slots", "coalesced", "saved %"])
+    for name, b, a in (("baseline", base_b, base_a),
+                       ("select", sel_b, sel_a)):
+        saved = 100.0 * (1 - a / b) if b else 0.0
+        t.add_row(name, b, a, saved)
+    show(t)
+
+    assert base_a <= base_b
+    # differential allocation needs a smaller frame to begin with
+    assert sel_b < base_b

@@ -1,0 +1,47 @@
+"""Throughput microbenchmarks for the library's own hot paths.
+
+Not paper results — these track the substrate's performance so regressions
+in the interpreter, encoder or verifier show up in benchmark history.
+"""
+
+import pytest
+
+from repro.encoding import EncodingConfig, encode_function, verify_encoding
+from repro.ir import Interpreter
+from repro.regalloc import iterated_allocate
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def allocated_sha():
+    return iterated_allocate(get_workload("sha").function(), 12).fn
+
+
+def test_interpreter_throughput(benchmark):
+    w = get_workload("crc32")
+    fn = w.function()
+
+    def run():
+        return Interpreter(record_trace=False).run(fn, (64,)).steps
+
+    steps = benchmark(run)
+    assert steps > 1000
+
+
+def test_encoder_throughput(benchmark, allocated_sha):
+    cfg = EncodingConfig(reg_n=12, diff_n=8)
+    enc = benchmark(encode_function, allocated_sha, cfg)
+    assert enc.fn.num_instructions() > 0
+
+
+def test_verifier_throughput(benchmark, allocated_sha):
+    cfg = EncodingConfig(reg_n=12, diff_n=8)
+    enc = encode_function(allocated_sha, cfg)
+    report = benchmark(verify_encoding, enc)
+    assert report.fields_decoded > 0
+
+
+def test_allocator_throughput(benchmark):
+    fn = get_workload("fft").function()
+    res = benchmark(iterated_allocate, fn, 12)
+    assert res.k == 12

@@ -1,0 +1,34 @@
+"""RegN sweep: where differential registers stop paying (Section 12).
+
+"As long as we properly choose RegN/DiffN and apply the schemes to cases
+when more architected registers yield enough benefits ... differential
+encoding can help improve the performance."  The sweep makes the choice
+visible: spills fall monotonically with RegN while the repair rate rises,
+and total cycles bottom out near the paper's chosen RegN=12 before the
+repairs win.
+"""
+
+from conftest import show
+
+from repro.experiments import run_regn_sweep
+
+
+def test_regn_sweep(benchmark):
+    sweep = benchmark.pedantic(run_regn_sweep,
+                               kwargs={"remap_restarts": 10},
+                               rounds=1, iterations=1)
+    show(sweep.table())
+
+    by_regn = {p.reg_n: p for p in sweep.points}
+    # spills fall monotonically with more registers
+    spills = [p.spill_fraction for p in sweep.points]
+    assert spills == sorted(spills, reverse=True)
+    # repair cost rises monotonically past the direct point
+    costs = [p.setlr_fraction for p in sweep.points]
+    assert costs == sorted(costs)
+    # a sweet spot exists strictly between the endpoints: some
+    # differential configuration beats both direct-8 and the widest point
+    best = sweep.best_reg_n()
+    assert 8 < best < 16
+    assert by_regn[best].relative_cycles < 1.0
+    assert by_regn[best].relative_cycles <= by_regn[16].relative_cycles

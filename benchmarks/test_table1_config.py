@@ -1,0 +1,26 @@
+"""Table 1: the low-end machine configuration."""
+
+from conftest import show
+
+from repro.machine import LOWEND, Cache
+
+
+def test_table1_machine_configuration(lowend_exp, benchmark):
+    table = benchmark(lowend_exp.table1)
+    show(table)
+    rows = dict(LOWEND.rows())
+    assert rows["Architected registers"] == "8"
+    assert rows["Physical registers"] == "16"
+
+
+def test_cache_simulation_throughput(benchmark):
+    """Microbenchmark: the cache model is the timing model's hot path."""
+    cache = Cache(LOWEND.dcache_size, LOWEND.dcache_line, LOWEND.dcache_assoc)
+    addrs = [i * 13 % 8192 for i in range(4096)]
+
+    def sweep():
+        for a in addrs:
+            cache.access(a)
+        return cache.stats.accesses
+
+    assert benchmark(sweep) > 0

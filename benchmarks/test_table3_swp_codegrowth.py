@@ -1,0 +1,44 @@
+"""Table 3: spills and code growth in the software-pipelining study.
+
+Paper: spills in optimized loops fall steeply from RegN=32 to 48 (2506 →
+faint); code growth is at most 1.13% over all code and *negative* at
+RegN=40 ("more spills are saved than the extra cost").  Shape to
+reproduce: the steep spill decline and an overall code-size effect of a few
+percent at most, negative where spill savings dominate.
+"""
+
+from conftest import show
+
+
+def test_table3_spills_and_code_growth(swp_exp, benchmark):
+    table = benchmark(swp_exp.table3_code_growth)
+    show(table)
+
+    opt = swp_exp.optimized_loops()
+    assert opt
+
+    spills = {r: sum(l.spills[r] for l in opt) for r in (32, 40, 48, 56, 64)}
+    assert spills[32] > 0
+    assert spills[48] < 0.3 * spills[32], "spills must fall steeply by RegN=48"
+    assert spills[64] <= spills[48]
+
+    base_all = sum(l.code_ops[32] for l in swp_exp.loops)
+    for reg_n in (40, 48, 56, 64):
+        new_all = sum(l.code_ops[reg_n] for l in swp_exp.loops)
+        growth_all_code = (new_all / base_all - 1.0) * swp_exp.loops_code_fraction
+        assert abs(growth_all_code) < 0.06, \
+            f"overall code effect too large at RegN={reg_n}"
+
+
+def test_setlr_promoted_outside_loops(swp_exp, benchmark):
+    """Section 8.1: repairs are promoted before the kernel; they appear in
+    code size, never in the per-iteration cycle count."""
+    def check():
+        violations = 0
+        for loop in swp_exp.optimized_loops():
+            for reg_n in (40, 48, 56, 64):
+                if loop.setlr[reg_n] and loop.cycles[reg_n] > loop.cycles[32]:
+                    violations += 1
+        return violations
+
+    assert benchmark(check) == 0

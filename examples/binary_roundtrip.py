@@ -1,0 +1,66 @@
+"""Down to the bits: pack a differential binary, decode it like hardware.
+
+Allocates a kernel with 12 registers, differentially encodes it into a
+bitstream whose register fields are genuinely 3 bits wide, then plays the
+decoder's role: read fields, track ``last_reg``, apply ``set_last_reg``
+(which never reaches the output — "removed after decoding"), and rebuild
+the exact original program.
+
+Run:  python examples/binary_roundtrip.py
+"""
+
+from repro.encoding import (
+    EncodingConfig,
+    encode_function,
+    pack_function,
+    unpack_function,
+)
+from repro.ir import format_function
+from repro.regalloc import iterated_allocate
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    from repro.regalloc import run_setup
+
+    workload = get_workload("crc32")
+    # a differential-aware allocation (select + remapping) keeps the
+    # set_last_reg count low; arbitrary numbering would need ~2x more
+    fn = run_setup(workload.function(), "select").allocation.fn
+    config = EncodingConfig(reg_n=12, diff_n=8)
+
+    enc = encode_function(fn, config)
+    packed = pack_function(enc)
+    print(f"{workload.name}: {fn.num_instructions()} instructions, "
+          f"{enc.n_setlr} set_last_reg in the stream")
+    print(f"binary: {packed.size_bytes:.1f} bytes "
+          f"({config.field_bits}-bit register fields for "
+          f"{config.reg_n} registers; direct encoding would need "
+          f"{config.direct_field_bits})")
+    print()
+    print("first bytes:", packed.data[:16].hex(" "))
+    print()
+
+    decoded = unpack_function(packed)
+    assert format_function(decoded) == format_function(fn)
+    n_setlr = sum(1 for i in decoded.instructions() if i.op == "setlr")
+    print("decoded program identical to the pre-encoding original "
+          f"({n_setlr} set_last_reg survive — they die at decode).")
+
+    # the width trade, measured on real bits: the same program packed with
+    # 4-bit direct fields needs no repairs but widens every field — and on
+    # a fixed-width ISA that widening costs far more than the bit count
+    # here suggests (16-bit THUMB has no 4-bit-field format at all; the
+    # next step up doubles every instruction, see `python -m repro
+    # alternatives`)
+    direct = EncodingConfig(reg_n=12, diff_n=12)
+    packed_direct = pack_function(encode_function(fn, direct))
+    print(f"direct 4-bit fields: {packed_direct.size_bytes:.1f} bytes with "
+          "no repairs;")
+    print(f"differential 3-bit fields: {packed.size_bytes:.1f} bytes — "
+          "the fields fit the compact format a real 16-bit ISA is stuck "
+          "with.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""A tour of the encoding machinery's corners (paper Section 9).
+
+* reserved direct slots for special-purpose registers (Section 9.2);
+* separate ``last_reg`` state per register class (Section 9.1);
+* calling-convention-safe remapping via pinned registers (Section 9.3);
+* the two join-repair placements (Section 2.2.2) compared on a loop.
+
+Run:  python examples/encoding_tour.py
+"""
+
+from repro.encoding import EncodingConfig, encode_function, verify_encoding
+from repro.ir import parse_function
+from repro.regalloc import differential_remap, iterated_allocate
+from repro.workloads import get_workload
+
+
+def special_registers() -> None:
+    print("=== special-purpose registers (Section 9.2) ===")
+    # 15 general registers differential + the stack pointer r15 direct:
+    # DiffN=7 differences plus slot 7 for r15 still fit 3-bit fields
+    fn = parse_function("""
+func frame_access():
+entry:
+    ld r1, [r15+0]
+    ld r2, [r15+1]
+    add r3, r1, r2
+    st r3, [r15+2]
+    ret r3
+""")
+    cfg = EncodingConfig(reg_n=15, diff_n=7, direct_slots={7: 15})
+    enc = encode_function(fn, cfg)
+    verify_encoding(enc)
+    print(f"    field width: {cfg.field_bits} bits "
+          f"(direct encoding of 16 registers needs 4)")
+    print(f"    stack-pointer fields use reserved code 7; "
+          f"set_last_reg inserted: {enc.n_setlr}")
+    print()
+
+
+def register_classes() -> None:
+    print("=== register classes (Section 9.1) ===")
+    fn = parse_function("""
+func mixed():
+entry:
+    add r1, r0, r1
+    add r2.float, r1.float, r2.float
+    add r2, r1, r2
+    add r3.float, r2.float, r3.float
+    ret r2
+""")
+    cfg = EncodingConfig(reg_n=8, diff_n=4, classes=("int", "float"))
+    enc = encode_function(fn, cfg)
+    verify_encoding(enc)
+    print("    int and float fields interleave, each class decodes against")
+    print(f"    its own last_reg; set_last_reg inserted: {enc.n_setlr}")
+    print()
+
+
+def calling_convention() -> None:
+    print("=== calling-convention-safe remapping (Section 9.3) ===")
+    fn = get_workload("crc32").function()
+    allocated = iterated_allocate(fn, 12).fn
+    free = differential_remap(allocated, 12, 8, restarts=20)
+    pinned = differential_remap(allocated, 12, 8, restarts=20, pinned=(0, 1))
+    print(f"    unconstrained remap: cost {free.cost_before:.0f} -> "
+          f"{free.cost_after:.0f}")
+    print(f"    r0/r1 pinned (argument/return registers stay put): "
+          f"cost -> {pinned.cost_after:.0f}")
+    print(f"    pinned permutation fixes r0->r{pinned.permutation[0]}, "
+          f"r1->r{pinned.permutation[1]}")
+    print()
+
+
+def join_policies() -> None:
+    print("=== join-repair placement (Section 2.2.2) ===")
+    fn = iterated_allocate(get_workload("crc32").function(), 12).fn
+    for policy in ("block_entry", "pred_end"):
+        cfg = EncodingConfig(reg_n=12, diff_n=8, join_repair=policy)
+        enc = encode_function(fn, cfg)
+        verify_encoding(enc)
+        print(f"    {policy:12}: {enc.n_setlr_inline} out-of-range + "
+              f"{enc.n_setlr_join} join repairs")
+    print()
+
+
+if __name__ == "__main__":
+    special_registers()
+    register_classes()
+    calling_convention()
+    join_policies()

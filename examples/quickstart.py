@@ -1,0 +1,81 @@
+"""Quickstart: differential register encoding in five minutes.
+
+Walks the core mechanism from Section 2 of the paper on a tiny program:
+encode register fields as modular differences, watch an out-of-range
+difference get repaired with ``set_last_reg``, and verify the encoding by
+replaying the decoder over every control-flow path.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.encoding import (
+    EncodingConfig,
+    encode_function,
+    encode_sequence,
+    verify_encoding,
+)
+from repro.ir import Interpreter, parse_function
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. The arithmetic (paper Section 2, Figure 1)
+    # ------------------------------------------------------------------
+    print("Accessing R1, R3, R8 with RegN=16 encodes the differences:")
+    print("   ", encode_sequence([1, 3, 8], 16), "(hops on the register circle)")
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. Encoding a whole function
+    # ------------------------------------------------------------------
+    # Four registers (RegN=4) addressed through 1-bit fields (DiffN=2):
+    # every consecutive access pair differs by 0 or +1, like Figure 2.
+    fn = parse_function("""
+func figure2():
+entry:
+    add r1, r0, r1
+    add r2, r1, r2
+    add r3, r2, r3
+    ret r3
+""")
+    config = EncodingConfig(reg_n=4, diff_n=2)
+    enc = encode_function(fn, config)
+    print(f"RegN={config.reg_n} registers through "
+          f"{config.field_bits}-bit fields (direct encoding would need "
+          f"{config.direct_field_bits} bits):")
+    for instr in fn.instructions():
+        codes = enc.field_codes.get(instr.uid, ())
+        print(f"    {str(instr):24} field codes: {codes}")
+    print(f"    set_last_reg inserted: {enc.n_setlr}")
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. A difference out of range (paper Section 2.3)
+    # ------------------------------------------------------------------
+    fn2 = parse_function("""
+func out_of_range(r0, r2):
+entry:
+    add r1, r0, r2
+    ret r1
+""")
+    enc2 = encode_function(fn2, config)
+    print("R1 = R0 + R2 cannot encode with DiffN=2 (difference 2);")
+    print("the encoder inserts the paper's repair instruction:")
+    for instr in enc2.fn.instructions():
+        print(f"    {instr}")
+    print()
+
+    # ------------------------------------------------------------------
+    # 4. Verification: replay the decoder over every CFG path
+    # ------------------------------------------------------------------
+    report = verify_encoding(enc2)
+    print(f"decode replay: {report.fields_decoded} fields over "
+          f"{report.states_visited} block states — all correct")
+
+    # and the program still runs: set_last_reg vanishes after decode
+    result = Interpreter().run(enc2.fn, (3, 4))
+    print(f"executed result unchanged: {result.return_value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Software pipelining with differential registers (Sections 8.1, 10.2).
+
+Takes one high-pressure synthetic loop from the SPEC-like population,
+modulo-schedules it, and shows what happens as the architected register
+count grows from 32 (direct encoding) to 48 and 64 (differential encoding
+with DiffN=32): spill memory traffic disappears, the initiation interval
+drops, and the only residual cost is a handful of ``set_last_reg``
+instructions promoted in front of the kernel.
+
+Run:  python examples/software_pipelining.py
+"""
+
+from repro.experiments.reporting import Table
+from repro.swp import allocate_kernel, encode_kernel, modulo_schedule
+from repro.workloads.spec_loops import generate_loop
+
+
+def main() -> None:
+    spec = generate_loop(205, big=True)
+    ddg = spec.ddg
+    base = modulo_schedule(ddg)
+    print(f"loop: {len(ddg.ops)} ops, {len(ddg.deps)} dependences, "
+          f"trip count {ddg.trip_count}")
+    print(f"unconstrained schedule: II={base.ii} "
+          f"(ResMII={ddg.res_mii()}, RecMII={ddg.rec_mii()}), "
+          f"MaxLive={base.max_live()}")
+    print()
+
+    table = Table(
+        "kernel allocation across register budgets (DiffN = 32)",
+        ["RegN", "II", "MaxLive", "spill mem ops", "MVE unroll",
+         "cycles", "promoted setlr"],
+    )
+    base_cycles = None
+    for reg_n in (32, 40, 48, 56, 64):
+        alloc = allocate_kernel(ddg, reg_n)
+        setlr = 0
+        if reg_n > 32:
+            report = encode_kernel(alloc, diff_n=32, restarts=4)
+            setlr = report.n_setlr + report.enable_overhead
+        cycles = alloc.execution_cycles()
+        if base_cycles is None:
+            base_cycles = cycles
+        table.add_row(
+            reg_n, alloc.ii, alloc.max_live, alloc.n_spill_ops,
+            alloc.schedule.mve_unroll(), cycles, setlr,
+        )
+    print(table.render())
+    print()
+
+    a32 = allocate_kernel(ddg, 32)
+    a64 = allocate_kernel(ddg, 64)
+    speedup = 100.0 * (a32.execution_cycles() / a64.execution_cycles() - 1.0)
+    print(f"differential encoding speeds this loop up by {speedup:.0f}% —")
+    print("the set_last_reg repairs sit before the loop (Section 8.1), so")
+    print("their entire cost is code size, not cycles.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: the sandbox's setuptools lacks the wheel package, so
+editable installs must go through ``setup.py develop``
+(``pip install -e . --no-build-isolation --no-use-pep517``)."""
+
+from setuptools import setup
+
+setup()

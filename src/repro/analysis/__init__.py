@@ -1,0 +1,40 @@
+"""Dataflow and graph analyses over the IR.
+
+These are the inputs the paper's algorithms consume: liveness and the
+interference graph for traditional register allocation, and the *adjacency
+graph* (paper Definition 2) that drives all three differential schemes.
+"""
+
+from repro.analysis.liveness import LivenessInfo, compute_liveness
+from repro.analysis.interference import InterferenceGraph, build_interference
+from repro.analysis.dominators import compute_dominators, immediate_dominators
+from repro.analysis.loops import NaturalLoop, find_natural_loops, loop_depths
+from repro.analysis.frequency import estimate_block_frequencies
+from repro.analysis.profile import profile_block_frequencies
+from repro.analysis.pressure import (
+    PressureRegion,
+    block_pressure,
+    loop_pressure_regions,
+)
+from repro.analysis.adjacency import AdjacencyGraph, build_adjacency
+from repro.analysis.webs import split_webs
+
+__all__ = [
+    "profile_block_frequencies",
+    "PressureRegion",
+    "block_pressure",
+    "loop_pressure_regions",
+    "LivenessInfo",
+    "compute_liveness",
+    "InterferenceGraph",
+    "build_interference",
+    "compute_dominators",
+    "immediate_dominators",
+    "NaturalLoop",
+    "find_natural_loops",
+    "loop_depths",
+    "estimate_block_frequencies",
+    "AdjacencyGraph",
+    "build_adjacency",
+    "split_webs",
+]

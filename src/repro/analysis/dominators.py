@@ -1,0 +1,59 @@
+"""Dominator computation (iterative dataflow formulation).
+
+Used by natural-loop detection, which in turn drives the static block
+frequency estimates weighting the adjacency graph (paper Section 4: "profile
+information could be incorporated ... we rely on static weight estimation").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.ir.function import Function
+
+__all__ = ["compute_dominators", "immediate_dominators"]
+
+
+def compute_dominators(fn: Function) -> Dict[str, Set[str]]:
+    """Map each block name to the set of block names dominating it.
+
+    Unreachable blocks are reported as dominated by every block (the
+    conventional lattice top), which natural-loop detection treats as
+    "no loops through unreachable code".
+    """
+    names = [b.name for b in fn.blocks]
+    succs, preds = fn.cfg()
+    entry = fn.entry.name
+    dom: Dict[str, Set[str]] = {n: set(names) for n in names}
+    dom[entry] = {entry}
+    changed = True
+    while changed:
+        changed = False
+        for n in names:
+            if n == entry:
+                continue
+            pred_doms = [dom[p] for p in preds[n]]
+            new = set.intersection(*pred_doms) if pred_doms else set(names)
+            new = new | {n}
+            if new != dom[n]:
+                dom[n] = new
+                changed = True
+    return dom
+
+
+def immediate_dominators(fn: Function) -> Dict[str, Optional[str]]:
+    """Immediate dominator of each block (``None`` for the entry)."""
+    dom = compute_dominators(fn)
+    idom: Dict[str, Optional[str]] = {}
+    for n, ds in dom.items():
+        if n == fn.entry.name:
+            idom[n] = None
+            continue
+        strict = ds - {n}
+        # the idom is the strict dominator dominated by all other strict doms
+        best = None
+        for c in strict:
+            if all(c in dom[o] or o == c for o in strict):
+                best = c
+        idom[n] = best
+    return idom

@@ -1,0 +1,86 @@
+"""Classic backward liveness analysis.
+
+Produces block-level ``live_in``/``live_out`` sets and, on demand,
+per-instruction live-out sets keyed by instruction ``uid``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Set
+
+from repro.ir.function import Function
+from repro.ir.instr import Reg
+
+__all__ = ["LivenessInfo", "compute_liveness"]
+
+
+@dataclass
+class LivenessInfo:
+    """Result of :func:`compute_liveness`."""
+
+    live_in: Dict[str, FrozenSet[Reg]]
+    live_out: Dict[str, FrozenSet[Reg]]
+    use: Dict[str, FrozenSet[Reg]]
+    defs: Dict[str, FrozenSet[Reg]]
+    instr_live_out: Dict[int, FrozenSet[Reg]]
+    instr_live_in: Dict[int, FrozenSet[Reg]]
+
+    def max_pressure(self, cls: str = "int") -> int:
+        """Maximum number of simultaneously live registers (MaxLive)."""
+        best = 0
+        for live in self.instr_live_in.values():
+            best = max(best, sum(1 for r in live if r.cls == cls))
+        for live in self.instr_live_out.values():
+            best = max(best, sum(1 for r in live if r.cls == cls))
+        return best
+
+
+def _block_use_def(block) -> tuple:
+    use: Set[Reg] = set()
+    defs: Set[Reg] = set()
+    for instr in block.instrs:
+        for r in instr.uses():
+            if r not in defs:
+                use.add(r)
+        defs.update(instr.defs())
+    return frozenset(use), frozenset(defs)
+
+
+def compute_liveness(fn: Function) -> LivenessInfo:
+    """Iterative backward may-liveness to a fixed point."""
+    succs, _ = fn.cfg()
+    use: Dict[str, FrozenSet[Reg]] = {}
+    defs: Dict[str, FrozenSet[Reg]] = {}
+    for b in fn.blocks:
+        use[b.name], defs[b.name] = _block_use_def(b)
+
+    live_in: Dict[str, FrozenSet[Reg]] = {b.name: frozenset() for b in fn.blocks}
+    live_out: Dict[str, FrozenSet[Reg]] = {b.name: frozenset() for b in fn.blocks}
+
+    changed = True
+    order = [b.name for b in reversed(fn.blocks)]  # reverse layout ≈ postorder
+    while changed:
+        changed = False
+        for name in order:
+            out: Set[Reg] = set()
+            for s in succs[name]:
+                out.update(live_in[s])
+            new_out = frozenset(out)
+            new_in = frozenset(use[name] | (new_out - defs[name]))
+            if new_out != live_out[name] or new_in != live_in[name]:
+                live_out[name] = new_out
+                live_in[name] = new_in
+                changed = True
+
+    instr_live_out: Dict[int, FrozenSet[Reg]] = {}
+    instr_live_in: Dict[int, FrozenSet[Reg]] = {}
+    for b in fn.blocks:
+        live: Set[Reg] = set(live_out[b.name])
+        for instr in reversed(b.instrs):
+            instr_live_out[instr.uid] = frozenset(live)
+            live.difference_update(instr.defs())
+            live.update(instr.uses())
+            instr_live_in[instr.uid] = frozenset(live)
+
+    return LivenessInfo(live_in, live_out, use, defs, instr_live_out, instr_live_in)

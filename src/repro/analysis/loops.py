@@ -1,0 +1,54 @@
+"""Natural-loop detection from back edges."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set
+
+from repro.analysis.dominators import compute_dominators
+from repro.ir.function import Function
+
+__all__ = ["NaturalLoop", "find_natural_loops", "loop_depths"]
+
+
+@dataclass(frozen=True)
+class NaturalLoop:
+    """A natural loop: ``header`` plus the body reached from the back edge."""
+
+    header: str
+    body: FrozenSet[str]  # includes the header
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.body
+
+
+def find_natural_loops(fn: Function) -> List[NaturalLoop]:
+    """All natural loops, one per back edge (loops sharing a header merged)."""
+    dom = compute_dominators(fn)
+    succs, preds = fn.cfg()
+    loops: Dict[str, Set[str]] = {}
+    for b in fn.blocks:
+        for s in succs[b.name]:
+            if s in dom[b.name]:  # back edge b -> s
+                body = {s}
+                stack = [b.name]
+                while stack:
+                    n = stack.pop()
+                    if n in body:
+                        continue
+                    body.add(n)
+                    stack.extend(preds[n])
+                loops.setdefault(s, set()).update(body)
+    return [
+        NaturalLoop(header, frozenset(body))
+        for header, body in sorted(loops.items())
+    ]
+
+
+def loop_depths(fn: Function) -> Dict[str, int]:
+    """Loop-nesting depth of each block (0 = not in any loop)."""
+    depths = {b.name: 0 for b in fn.blocks}
+    for loop in find_natural_loops(fn):
+        for name in loop.body:
+            depths[name] += 1
+    return depths

@@ -1,0 +1,59 @@
+"""Register-pressure analysis by block and by loop region.
+
+Selective enabling (paper Section 8.2) needs to know *where* pressure
+exceeds the directly encodable registers: "it is likely that in some
+regions register pressure is very high, typically those frequently executed
+and heavily optimized code segments".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.liveness import compute_liveness
+from repro.analysis.loops import find_natural_loops
+from repro.ir.function import Function
+
+__all__ = ["PressureRegion", "block_pressure", "loop_pressure_regions"]
+
+
+@dataclass(frozen=True)
+class PressureRegion:
+    """A natural loop annotated with its register pressure."""
+
+    header: str
+    blocks: Tuple[str, ...]
+    max_pressure: int
+
+    def exceeds(self, k: int) -> bool:
+        """Whether this region needs more than ``k`` registers."""
+        return self.max_pressure > k
+
+
+def block_pressure(fn: Function, cls: str = "int") -> Dict[str, int]:
+    """Maximum number of simultaneously live registers per block."""
+    liveness = compute_liveness(fn)
+    out: Dict[str, int] = {}
+    for block in fn.blocks:
+        best = sum(1 for r in liveness.live_out[block.name] if r.cls == cls)
+        for instr in block.instrs:
+            live = liveness.instr_live_in[instr.uid]
+            best = max(best, sum(1 for r in live if r.cls == cls))
+        out[block.name] = best
+    return out
+
+
+def loop_pressure_regions(fn: Function, cls: str = "int") -> List[PressureRegion]:
+    """Every natural loop with its MaxLive — the paper's high-pressure
+    region candidates, sorted hottest-first by pressure."""
+    pressures = block_pressure(fn, cls)
+    regions = [
+        PressureRegion(
+            header=loop.header,
+            blocks=tuple(sorted(loop.body)),
+            max_pressure=max(pressures[b] for b in loop.body),
+        )
+        for loop in find_natural_loops(fn)
+    ]
+    return sorted(regions, key=lambda r: (-r.max_pressure, r.header))

@@ -1,0 +1,181 @@
+"""Live-range webs: split unrelated reuses of a virtual register.
+
+A *web* (Muchnick) is a maximal set of definitions and uses of one register
+connected through reaching definitions — two disjoint def-use regions of
+the same virtual register are independent values that merely share a name.
+Renaming each web to a fresh register gives the allocator strictly more
+freedom: the webs can live in different physical registers (or one can
+spill without the other), and the differential selector can place them
+independently on the register circle.
+
+The paper allocates "live ranges" (§4 footnote: "sometimes they are called
+virtual registers"); web splitting is the standard pass that makes virtual
+registers coincide with proper live ranges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instr import Instr, Reg
+
+__all__ = ["split_webs"]
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: Dict[object, object] = {}
+
+    def find(self, x: object) -> object:
+        self.parent.setdefault(x, x)
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: object, b: object) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+def _reaching_definitions(fn: Function):
+    """Per-use reaching definition sites for virtual registers.
+
+    A definition site is ``(block, index)``; parameters define at the
+    virtual site ``("@param", reg)``.  Standard forward may-reach dataflow
+    at block granularity, refined inside blocks.
+    """
+    # gen/kill per block, keyed by register
+    defs_of: Dict[Reg, Set[Tuple]] = {}
+    block_out: Dict[str, Dict[Reg, Set[Tuple]]] = {}
+    for p in fn.params:
+        if p.virtual:
+            defs_of.setdefault(p, set()).add(("@param", p))
+    for b in fn.blocks:
+        for i, instr in enumerate(b.instrs):
+            for d in instr.defs():
+                if d.virtual:
+                    defs_of.setdefault(d, set()).add((b.name, i))
+
+    succs, preds = fn.cfg()
+    entry_out: Dict[str, Dict[Reg, Set[Tuple]]] = {
+        b.name: {} for b in fn.blocks
+    }
+    # block transfer: last def per register wins
+    def transfer(block, inp):
+        out = {r: set(sites) for r, sites in inp.items()}
+        for i, instr in enumerate(block.instrs):
+            for d in instr.defs():
+                if d.virtual:
+                    out[d] = {(block.name, i)}
+        return out
+
+    entry_in: Dict[str, Dict[Reg, Set[Tuple]]] = {
+        b.name: {} for b in fn.blocks
+    }
+    entry_in[fn.entry.name] = {
+        p: {("@param", p)} for p in fn.params if p.virtual
+    }
+    out_maps = {b.name: transfer(b, entry_in[b.name]) for b in fn.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for b in fn.blocks:
+            if b.name == fn.entry.name:
+                inp = entry_in[b.name]
+            else:
+                inp = {}
+                for p in preds[b.name]:
+                    for r, sites in out_maps[p].items():
+                        inp.setdefault(r, set()).update(sites)
+            new_out = transfer(b, inp)
+            if new_out != out_maps[b.name] or inp != entry_in[b.name]:
+                out_maps[b.name] = new_out
+                entry_in[b.name] = inp
+                changed = True
+
+    # per-use reaching sites
+    use_sites: List[Tuple[Reg, Tuple, Set[Tuple]]] = []
+    for b in fn.blocks:
+        current = {r: set(s) for r, s in entry_in[b.name].items()}
+        for i, instr in enumerate(b.instrs):
+            for u in instr.uses():
+                if u.virtual:
+                    use_sites.append((u, (b.name, i), set(current.get(u, ()))))
+            for d in instr.defs():
+                if d.virtual:
+                    current[d] = {(b.name, i)}
+    return defs_of, use_sites
+
+
+def split_webs(fn: Function) -> Tuple[Function, int]:
+    """Rename each def-use web of every virtual register to a fresh name.
+
+    Returns ``(new_fn, webs created beyond the originals)``.  Registers
+    whose defs and uses all connect stay untouched (web count 1).
+    Parameters keep their original name (their web contains the entry
+    definition).
+    """
+    defs_of, use_sites = _reaching_definitions(fn)
+    uf = _UnionFind()
+    # connect each use to every def reaching it
+    for reg, use_at, reaching in use_sites:
+        anchor = None
+        for site in reaching:
+            key = (reg, site)
+            if anchor is None:
+                anchor = key
+            else:
+                uf.union(anchor, key)
+        if anchor is not None:
+            uf.union(anchor, (reg, "use", use_at))
+
+    next_vreg = fn.max_vreg_id() + 1
+    web_reg: Dict[object, Reg] = {}
+    n_extra = 0
+
+    def web_name(reg: Reg, key) -> Reg:
+        nonlocal next_vreg, n_extra
+        root = uf.find(key)
+        if root not in web_reg:
+            roots_of_reg = {
+                uf.find((reg, site)) for site in defs_of.get(reg, ())
+            }
+            param_root = (uf.find((reg, ("@param", reg)))
+                          if ("@param", reg) in defs_of.get(reg, ())
+                          else None)
+            # exactly one web keeps the original name: the parameter's web
+            # when the register is a parameter, else a deterministic pick
+            keep = param_root if param_root is not None else (
+                min(roots_of_reg, key=str) if roots_of_reg else root
+            )
+            if len(roots_of_reg) <= 1 or root == keep:
+                web_reg[root] = reg  # keep the original name for one web
+            else:
+                web_reg[root] = Reg(next_vreg, virtual=True, cls=reg.cls)
+                next_vreg += 1
+                n_extra += 1
+        return web_reg[root]
+
+    out = fn.copy()
+    for b in out.blocks:
+        new_instrs: List[Instr] = []
+        for i, instr in enumerate(b.instrs):
+            use_map = {
+                u: web_name(u, (u, "use", (b.name, i)))
+                for u in instr.uses() if u.virtual
+            }
+            rewritten = instr.rewrite(use_map) if use_map else instr
+            if instr.dst is not None and instr.dst.virtual:
+                dst_name = web_name(instr.dst, (instr.dst, (b.name, i)))
+                if dst_name != rewritten.dst:
+                    rewritten = rewritten.copy()
+                    rewritten.dst = dst_name
+            new_instrs.append(rewritten)
+        b.instrs = new_instrs
+    out.params = fn.params
+    return out, n_extra

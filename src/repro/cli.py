@@ -1,0 +1,240 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands regenerate the paper's tables and figures, run single benchmarks,
+or encode standalone assembly files:
+
+.. code-block:: console
+
+    $ python -m repro lowend            # Table 1 + Figures 11-14
+    $ python -m repro fig11             # just one figure
+    $ python -m repro swp --loops 400   # Tables 2-3
+    $ python -m repro alternatives      # the Section 1 width study
+    $ python -m repro bench sha         # one kernel through all setups
+    $ python -m repro list              # available workloads
+    $ python -m repro encode prog.s --reg-n 12 --diff-n 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main"]
+
+
+def _cmd_lowend(args) -> int:
+    from repro.experiments import run_lowend_experiment
+
+    exp = run_lowend_experiment(remap_restarts=args.restarts,
+                                profile=not args.static_weights)
+    figures = {
+        "lowend": exp.render_all,
+        "table1": lambda: exp.table1().render(),
+        "fig11": lambda: exp.fig11_spills().render(),
+        "fig12": lambda: exp.fig12_cost().render(),
+        "fig13": lambda: exp.fig13_codesize().render(),
+        "fig14": lambda: exp.fig14_speedup().render(),
+    }
+    print(figures[args.command]())
+    return 0
+
+
+def _cmd_swp(args) -> int:
+    from repro.experiments import run_swp_experiment
+
+    exp = run_swp_experiment(n_loops=args.loops, seed=args.seed)
+    print(f"population: {len(exp.loops)} loops; "
+          f"{100 * exp.fraction_needing_more_than_32:.1f}% need >32 registers")
+    print()
+    print(exp.render_all())
+    return 0
+
+
+def _cmd_alternatives(args) -> int:
+    from repro.experiments.alternatives import run_alternatives_study
+
+    study = run_alternatives_study(remap_restarts=args.restarts)
+    print(study.table().render())
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.analysis.profile import profile_block_frequencies
+    from repro.experiments.reporting import Table
+    from repro.ir import Interpreter
+    from repro.machine import LowEndTimingModel
+    from repro.regalloc import SETUPS, run_setup
+    from repro.workloads import get_workload
+
+    try:
+        workload = get_workload(args.name)
+    except KeyError:
+        print(f"unknown benchmark {args.name!r}; try `python -m repro list`",
+              file=sys.stderr)
+        return 1
+    fn = workload.function()
+    run_args = workload.default_args
+    freq = profile_block_frequencies(fn, run_args)
+    timing = LowEndTimingModel()
+    table = Table(f"{args.name}: the five Section 10.1 setups",
+                  ["setup", "instrs", "spills", "setlr", "cycles"])
+    for setup in SETUPS:
+        prog = run_setup(fn, setup, freq=freq, remap_restarts=args.restarts)
+        result = Interpreter().run(prog.final_fn, run_args)
+        report = timing.time(result.trace)
+        table.add_row(setup, prog.n_instructions, prog.n_spills,
+                      prog.n_setlr, report.cycles)
+    print(table.render())
+    return 0
+
+
+def _cmd_list(args) -> int:
+    from repro.workloads import MIBENCH
+
+    for w in MIBENCH:
+        print(f"{w.name:14} {w.description}")
+    return 0
+
+
+def _cmd_encode(args) -> int:
+    from repro.encoding import EncodingConfig, encode_function, verify_encoding
+    from repro.ir import parse_function
+
+    with open(args.file) as f:
+        fn = parse_function(f.read())
+    config = EncodingConfig(reg_n=args.reg_n, diff_n=args.diff_n,
+                            access_order=args.access_order)
+    enc = encode_function(fn, config)
+    verify_encoding(enc)
+    print(enc.fn)
+    print(f"# RegN={args.reg_n} DiffN={args.diff_n} "
+          f"field width {config.field_bits} bits "
+          f"(direct would need {config.direct_field_bits})")
+    print(f"# set_last_reg: {enc.n_setlr_inline} out-of-range + "
+          f"{enc.n_setlr_join} join repairs "
+          f"({100 * enc.overhead_fraction:.1f}% of instructions)")
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    from repro.encoding import EncodingConfig, encode_function, pack_function
+    from repro.encoding.objdump import disassemble
+    from repro.ir import parse_function
+
+    with open(args.file) as f:
+        fn = parse_function(f.read())
+    config = EncodingConfig(reg_n=args.reg_n, diff_n=args.diff_n)
+    packed = pack_function(encode_function(fn, config))
+    print(disassemble(packed))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.report import generate_report
+
+    text = generate_report(n_loops=args.loops,
+                           remap_restarts=args.restarts)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text + "\n")
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.experiments import run_regn_sweep
+
+    sweep = run_regn_sweep(remap_restarts=args.restarts)
+    print(sweep.table().render())
+    print(f"\nbest RegN on this suite: {sweep.best_reg_n()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Differential Register Allocation' "
+                    "(PLDI 2005): regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, help_text in [
+        ("lowend", "Table 1 and Figures 11-14 (the MiBench study)"),
+        ("table1", "the low-end machine configuration"),
+        ("fig11", "static spill percentage"),
+        ("fig12", "set_last_reg cost percentage"),
+        ("fig13", "code size relative to baseline"),
+        ("fig14", "speedup over baseline"),
+    ]:
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--restarts", type=int, default=50,
+                       help="remapping restarts (paper uses 1000)")
+        p.add_argument("--static-weights", action="store_true",
+                       help="use static loop-nest frequency estimates "
+                            "instead of interpreter profiles")
+        p.set_defaults(func=_cmd_lowend)
+
+    p = sub.add_parser("swp", help="Tables 2-3 (the software-pipelining study)")
+    p.add_argument("--loops", type=int, default=400,
+                   help="population size (paper: 1928)")
+    p.add_argument("--seed", type=int, default=2005)
+    p.set_defaults(func=_cmd_swp)
+
+    p = sub.add_parser("alternatives",
+                       help="direct-8 vs direct-16 vs differential-12 "
+                            "(the Section 1 motivation)")
+    p.add_argument("--restarts", type=int, default=25)
+    p.set_defaults(func=_cmd_alternatives)
+
+    p = sub.add_parser("bench", help="run one benchmark through all setups")
+    p.add_argument("name")
+    p.add_argument("--restarts", type=int, default=50)
+    p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("list", help="list available benchmarks")
+    p.set_defaults(func=_cmd_list)
+
+    p = sub.add_parser("encode",
+                       help="differentially encode an assembly file")
+    p.add_argument("file")
+    p.add_argument("--reg-n", type=int, default=12)
+    p.add_argument("--diff-n", type=int, default=8)
+    p.add_argument("--access-order", default="src_first",
+                   choices=("src_first", "dst_first", "two_address"))
+    p.set_defaults(func=_cmd_encode)
+
+    p = sub.add_parser("disasm",
+                       help="encode an assembly file to bits and show the "
+                            "annotated disassembly")
+    p.add_argument("file")
+    p.add_argument("--reg-n", type=int, default=12)
+    p.add_argument("--diff-n", type=int, default=8)
+    p.set_defaults(func=_cmd_disasm)
+
+    p = sub.add_parser("report",
+                       help="run every study and emit one combined report")
+    p.add_argument("--out", help="write to a file instead of stdout")
+    p.add_argument("--loops", type=int, default=400)
+    p.add_argument("--restarts", type=int, default=50)
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("sweep",
+                       help="RegN sweep at fixed field width (why RegN=12)")
+    p.add_argument("--restarts", type=int, default=15)
+    p.set_defaults(func=_cmd_sweep)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,92 @@
+"""Nominal register access order and access sequences (paper Section 2).
+
+The access order fixes, within one instruction, the order in which register
+fields are decoded.  The paper's default is ``src1, src2, ..., dst``; Section
+9.4 suggests alternatives, which we expose for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instr import Instr, Reg
+
+__all__ = ["ACCESS_ORDERS", "access_fields", "access_sequence", "block_access_sequence"]
+
+
+def _src_first(instr: Instr) -> Tuple[Reg, ...]:
+    fields: List[Reg] = list(instr.srcs)
+    if instr.dst is not None:
+        fields.append(instr.dst)
+    return tuple(fields)
+
+
+def _dst_first(instr: Instr) -> Tuple[Reg, ...]:
+    fields: List[Reg] = []
+    if instr.dst is not None:
+        fields.append(instr.dst)
+    fields.extend(instr.srcs)
+    return tuple(fields)
+
+
+def _two_address(instr: Instr) -> Tuple[Reg, ...]:
+    """THUMB-style field order for two-address code.
+
+    For register-register ALU ops where the destination repeats a source
+    (the invariant :func:`repro.ir.lowering.to_two_address` establishes),
+    the repeated register is one physical field: ``add rd, rs`` carries two
+    fields, decoded destination-first.  Instructions that are not
+    two-address ALU forms keep the default source-first layout.
+    """
+    from repro.ir.instr import ALU_REG_OPS
+
+    if (instr.op in ALU_REG_OPS and instr.dst is not None
+            and instr.dst == instr.srcs[0]):
+        return (instr.dst, instr.srcs[1])
+    return _src_first(instr)
+
+
+ACCESS_ORDERS = {
+    "src_first": _src_first,    # the paper's default: src1, src2 ... dst
+    "dst_first": _dst_first,    # Section 9.4 alternative
+    "two_address": _two_address,  # THUMB forms after to_two_address()
+}
+
+
+def access_fields(instr: Instr, order: str = "src_first",
+                  cls: str = "int") -> Tuple[Reg, ...]:
+    """Register fields of one instruction in access order.
+
+    Only fields of register class ``cls`` participate: with multiple classes
+    each class has its own access sequence and ``last_reg`` (Section 9.1), so
+    other classes are skipped.  ``call`` side-effect registers are implicit
+    (not encoded fields) and never appear.
+    """
+    try:
+        fields = ACCESS_ORDERS[order](instr)
+    except KeyError:
+        raise ValueError(f"unknown access order {order!r}") from None
+    return tuple(r for r in fields if r.cls == cls)
+
+
+def block_access_sequence(block: BasicBlock, order: str = "src_first",
+                          cls: str = "int") -> List[Reg]:
+    """The access sequence of a single basic block."""
+    seq: List[Reg] = []
+    for instr in block.instrs:
+        seq.extend(access_fields(instr, order, cls))
+    return seq
+
+
+def access_sequence(fn: Function, order: str = "src_first",
+                    cls: str = "int") -> List[Reg]:
+    """The whole function's access sequence in layout order.
+
+    This is the straight-line view used for building adjacency graphs; the
+    encoder itself walks blocks and handles control-flow joins separately.
+    """
+    seq: List[Reg] = []
+    for block in fn.blocks:
+        seq.extend(block_access_sequence(block, order, cls))
+    return seq

@@ -1,0 +1,66 @@
+"""Modular difference arithmetic (paper Definition 1, Equations 1 and 2).
+
+Encoding a register access sequence ``n1, n2, ..., nk`` (with the implicit
+``n0 = 0``) produces differences ``d_i = (n_i - n_{i-1}) mod RegN``; decoding
+inverts with ``n_i = (d_i + n_{i-1}) mod RegN``.  On the clock-face picture of
+Figure 1, ``d_i`` is the clockwise hop count from the previous register to the
+current one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = [
+    "encode_difference",
+    "decode_difference",
+    "encode_sequence",
+    "decode_sequence",
+    "min_diff_width",
+]
+
+
+def encode_difference(current: int, previous: int, reg_n: int) -> int:
+    """Equation (1): ``(current - previous) mod RegN``.
+
+    Python's ``%`` already matches the paper's Definition 1 (result in
+    ``[0, RegN)`` for positive modulus).
+    """
+    if not 0 <= current < reg_n:
+        raise ValueError(f"register {current} out of range for RegN={reg_n}")
+    if not 0 <= previous < reg_n:
+        raise ValueError(f"register {previous} out of range for RegN={reg_n}")
+    return (current - previous) % reg_n
+
+
+def decode_difference(diff: int, previous: int, reg_n: int) -> int:
+    """Equation (2): ``(diff + previous) mod RegN``."""
+    if not 0 <= diff < reg_n:
+        raise ValueError(f"difference {diff} out of range for RegN={reg_n}")
+    return (diff + previous) % reg_n
+
+
+def encode_sequence(registers: Sequence[int], reg_n: int, initial: int = 0) -> List[int]:
+    """Differences for a whole access sequence (``n0 = initial``)."""
+    out: List[int] = []
+    last = initial
+    for n in registers:
+        out.append(encode_difference(n, last, reg_n))
+        last = n
+    return out
+
+
+def decode_sequence(diffs: Sequence[int], reg_n: int, initial: int = 0) -> List[int]:
+    """Invert :func:`encode_sequence`."""
+    out: List[int] = []
+    last = initial
+    for d in diffs:
+        last = decode_difference(d, last, reg_n)
+        out.append(last)
+    return out
+
+
+def min_diff_width(diffs: Iterable[int]) -> int:
+    """Bits needed to represent every difference in ``diffs`` directly."""
+    top = max(diffs, default=0)
+    return max(1, top.bit_length())

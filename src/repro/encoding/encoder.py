@@ -1,0 +1,371 @@
+"""Differential encoding of an allocated function (paper Sections 2.2-2.3).
+
+Input: a function whose register operands are physical registers, either
+inside the differential space ``[0, RegN)`` or special registers with
+reserved direct slots.  Output: an :class:`EncodedFunction` — a copy of the
+function with ``set_last_reg`` instructions inserted, plus the encoded field
+values and overhead statistics.
+
+Two repair situations exist:
+
+* **difference out of range** (Section 2.2.1): the modular difference to the
+  next accessed register does not fit in ``DiffN`` values.  We insert
+  ``set_last_reg(n, delay)`` in front of the instruction, where ``delay`` is
+  the number of register fields of that instruction decoded before the
+  offending one; the field then encodes difference 0.
+* **multi-path inconsistency** (Section 2.2.2): control-flow joins can reach
+  a block with different ``last_reg`` values.  The paper offers two
+  placements — one ``set_last_reg`` at the head of the join block, or on the
+  mismatching predecessor edges.  Our ``pred_end`` policy chooses per join,
+  by estimated execution frequency: the canonical entry value is picked to
+  make the *hot* incoming edge repair-free, and cold edges are repaired at
+  the end of their predecessor when that predecessor's other successors
+  agree (otherwise the block-entry placement is the fallback).
+
+A key structural fact makes this clean: a block's exit ``last_reg`` is just
+the last register accessed in it — independent of its entry value — so
+exits can be computed before any entry value is chosen.
+
+``set_last_reg`` carries ``imm=(value, delay, cls)`` — the class tag exists
+only for multi-class configurations (Section 9.1) and defaults to ``"int"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.analysis.frequency import estimate_block_frequencies
+from repro.encoding.access_order import ACCESS_ORDERS
+from repro.encoding.config import EncodingConfig
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instr import Instr, Reg
+
+__all__ = ["EncodedFunction", "encode_function", "setlr_payload"]
+
+
+def setlr_payload(instr: Instr) -> Tuple[int, int, str]:
+    """Normalise a ``setlr`` immediate to ``(value, delay, cls)``."""
+    imm = instr.imm
+    if isinstance(imm, tuple):
+        if len(imm) == 3:
+            return imm  # type: ignore[return-value]
+        if len(imm) == 2:
+            return (imm[0], imm[1], "int")
+    raise ValueError(f"malformed setlr payload {imm!r}")
+
+
+@dataclass
+class EncodedFunction:
+    """Result of :func:`encode_function`."""
+
+    fn: Function
+    config: EncodingConfig
+    field_codes: Dict[int, Tuple[int, ...]]
+    entry_values: Dict[str, Dict[str, int]]  # block -> cls -> last_reg on entry
+    exit_values: Dict[str, Dict[str, int]]
+    n_setlr_inline: int = 0  # out-of-range repairs
+    n_setlr_join: int = 0    # multi-path repairs
+
+    @property
+    def n_setlr(self) -> int:
+        return self.n_setlr_inline + self.n_setlr_join
+
+    @property
+    def overhead_fraction(self) -> float:
+        """set_last_reg instructions as a fraction of all instructions
+        (the paper's Figure 12 'cost' metric)."""
+        total = self.fn.num_instructions()
+        return self.n_setlr / total if total else 0.0
+
+
+def _check_registers(fn: Function, config: EncodingConfig) -> None:
+    for r in fn.registers():
+        if r.virtual:
+            raise ValueError(
+                f"{fn.name}: virtual register {r} survives to encoding; "
+                "run register allocation first"
+            )
+        if r.cls not in config.classes:
+            continue
+        if not config.is_special(r) and r.id >= config.reg_n:
+            raise ValueError(
+                f"{fn.name}: register {r} outside differential space "
+                f"[0, {config.reg_n}) and not a reserved special register"
+            )
+
+
+def _last_encodable(fields, config: EncodingConfig, cls: str) -> Optional[int]:
+    """The register id a block's decode leaves in ``last_reg`` — the last
+    non-special field of class ``cls`` — or None if there is none."""
+    out: Optional[int] = None
+    for r in fields:
+        if r.cls == cls and not config.is_special(r):
+            out = r.id
+    return out
+
+
+def _terminator_field_count(block: BasicBlock, config: EncodingConfig) -> int:
+    term = block.terminator()
+    if term is None:
+        return 0
+    return len(ACCESS_ORDERS[config.access_order](term))
+
+
+def encode_function(fn: Function, config: EncodingConfig,
+                    freq: Optional[Mapping[str, float]] = None) -> EncodedFunction:
+    """Differentially encode ``fn`` under ``config``.
+
+    The input function is not modified; the returned ``EncodedFunction.fn``
+    contains the inserted ``set_last_reg`` instructions.  ``freq`` biases
+    the join-repair placement (defaults to the static loop-nest estimate).
+    """
+    _check_registers(fn, config)
+    for instr in fn.instructions():
+        if instr.op == "setlr":
+            raise ValueError(f"{fn.name}: input already contains set_last_reg")
+    fn = fn.copy()
+    order_fn = ACCESS_ORDERS[config.access_order]
+    succs, preds = fn.cfg()
+    if freq is None:
+        freq = estimate_block_frequencies(fn)
+
+    # ------------------------------------------------------------------
+    # phase 1: block exit values (entry-independent)
+    # ------------------------------------------------------------------
+    block_fields: Dict[str, List[Reg]] = {}
+    for b in fn.blocks:
+        fields: List[Reg] = []
+        for instr in b.instrs:
+            fields.extend(order_fn(instr))
+        block_fields[b.name] = fields
+
+    # exit[b][cls]: concrete id, or None meaning "passes the entry through"
+    raw_exit: Dict[str, Dict[str, Optional[int]]] = {
+        b.name: {
+            cls: _last_encodable(block_fields[b.name], config, cls)
+            for cls in config.classes
+        }
+        for b in fn.blocks
+    }
+
+    # ------------------------------------------------------------------
+    # phase 2: choose entry values and plan join repairs, in layout order
+    # ------------------------------------------------------------------
+    entry_values: Dict[str, Dict[str, int]] = {b.name: {} for b in fn.blocks}
+    exit_values: Dict[str, Dict[str, int]] = {b.name: {} for b in fn.blocks}
+    # repair plan: ("entry", block, cls, value) or ("pred", pred, cls, value)
+    repairs: List[Tuple[str, str, str, int]] = []
+    decided: Dict[str, bool] = {}
+
+    def effective_exit(p: str, cls: str) -> Optional[int]:
+        """Exit value of p as successors see it, if known yet."""
+        if not decided.get(p):
+            raw = raw_exit[p][cls]
+            return raw  # None if pass-through and p not yet decided
+        return exit_values[p].get(cls)
+
+    for bi, block in enumerate(fn.blocks):
+        name = block.name
+        for cls in config.classes:
+            if bi == 0:
+                entry = config.initial_last_reg
+            else:
+                entry = _choose_entry(
+                    fn, config, name, cls, preds, succs, freq,
+                    effective_exit, entry_values, decided, repairs,
+                    exit_values,
+                )
+            entry_values[name][cls] = entry
+            raw = raw_exit[name][cls]
+            exit_values[name][cls] = entry if raw is None else raw
+        decided[name] = True
+
+    # re-check every edge after all entries are decided: edges from
+    # later-layout predecessors (back edges) may still mismatch
+    for block in fn.blocks:
+        name = block.name
+        for cls in config.classes:
+            want = entry_values[name][cls]
+            pending = [
+                p for p in preds[name]
+                if exit_values[p][cls] != want
+                and not _edge_repaired(repairs, p, name, cls)
+            ]
+            if not pending:
+                continue
+            _plan_block_repairs(
+                fn, config, name, cls, want, pending, succs,
+                entry_values, exit_values, freq, repairs,
+            )
+
+    # ------------------------------------------------------------------
+    # phase 3: encode fields, inserting inline out-of-range repairs
+    # ------------------------------------------------------------------
+    field_codes: Dict[int, Tuple[int, ...]] = {}
+    n_inline = 0
+    for block in fn.blocks:
+        last = dict(entry_values[block.name])
+        new_instrs: List[Instr] = []
+        for instr in block.instrs:
+            codes: List[int] = []
+            pre: List[Instr] = []
+            for pos, r in enumerate(order_fn(instr)):
+                if r.cls not in config.classes:
+                    continue
+                if config.is_special(r):
+                    codes.append(config.code_for_register(r))
+                    continue
+                d = (r.id - last[r.cls]) % config.reg_n
+                if d < config.diff_n:
+                    codes.append(d)
+                else:
+                    pre.append(Instr("setlr", imm=(r.id, pos, r.cls)))
+                    n_inline += 1
+                    codes.append(0)
+                last[r.cls] = r.id
+            field_codes[instr.uid] = tuple(codes)
+            new_instrs.extend(pre)
+            new_instrs.append(instr)
+        block.instrs = new_instrs
+
+    # ------------------------------------------------------------------
+    # phase 4: materialise the join-repair plan
+    # ------------------------------------------------------------------
+    n_join = 0
+    for kind, where, cls, value in repairs:
+        target = fn.block(where)
+        if kind == "entry":
+            target.instrs.insert(0, Instr("setlr", imm=(value, 0, cls)))
+        else:  # pred-end, after the terminator's own fields decode
+            delay = _terminator_field_count(target, config)
+            repair = Instr("setlr", imm=(value, delay, cls))
+            if target.terminator() is None:
+                target.instrs.append(repair)
+            else:
+                target.instrs.insert(len(target.instrs) - 1, repair)
+        n_join += 1
+
+    return EncodedFunction(
+        fn=fn,
+        config=config,
+        field_codes=field_codes,
+        entry_values=entry_values,
+        exit_values=exit_values,
+        n_setlr_inline=n_inline,
+        n_setlr_join=n_join,
+    )
+
+
+def _edge_repaired(repairs: List[Tuple[str, str, str, int]],
+                   p: str, b: str, cls: str) -> bool:
+    """Whether a planned repair already fixes the edge p -> b for cls."""
+    for kind, where, rcls, _ in repairs:
+        if rcls != cls:
+            continue
+        if kind == "entry" and where == b:
+            return True
+        if kind == "pred" and where == p:
+            return True
+    return False
+
+
+def _pred_end_safe(fn: Function, p: str, cls: str, value: int,
+                   target: str, succs, entry_values, decided) -> bool:
+    """A pred-end ``set_last_reg`` changes ``p``'s exit on *all* its
+    outgoing edges, so every other successor must expect ``value`` too."""
+    for s in succs[p]:
+        if s == target:
+            continue
+        if not decided.get(s) or entry_values[s].get(cls) != value:
+            return False
+    return True
+
+
+def _choose_entry(fn: Function, config: EncodingConfig, name: str, cls: str,
+                  preds, succs, freq, effective_exit, entry_values, decided,
+                  repairs, exit_values) -> int:
+    """Pick the canonical entry value for one block and plan its repairs.
+
+    Candidates are the known predecessor exits — including raw exits of
+    not-yet-decided predecessors (back edges), so a loop header can adopt
+    the back edge's exit and keep the hot path repair-free.  Each candidate
+    is costed by the frequency of the edges still needing repair.  Repairs
+    are committed only on already-decided predecessors; mismatching back
+    edges are reconciled by the post-pass once every entry is fixed.
+    """
+    known: List[Tuple[str, int, bool]] = []  # (pred, exit, is_decided)
+    for p in preds[name]:
+        e = effective_exit(p, cls)
+        if e is not None:
+            known.append((p, e, bool(decided.get(p))))
+    if not known:
+        return config.initial_last_reg
+
+    candidates = sorted({e for _, e, _ in known})
+    best_value = candidates[0]
+    best_cost: Optional[Tuple[float, int]] = None
+    block_freq = freq.get(name, 1.0)
+    plans: Dict[int, List[Tuple[str, str, str, int]]] = {}
+
+    for v in candidates:
+        weighted = 0.0
+        static = 0
+        plan: List[Tuple[str, str, str, int]] = []
+        entry_needed = False
+        for p, e, is_decided in known:
+            if e == v:
+                continue
+            pred_ok = (
+                config.join_repair == "pred_end"
+                and _pred_end_safe(fn, p, cls, v, name, succs,
+                                   entry_values, decided)
+            )
+            if pred_ok and is_decided:
+                weighted += freq.get(p, 1.0)
+                static += 1
+                plan.append(("pred", p, cls, v))
+            elif (config.join_repair == "pred_end" and not is_decided
+                  and len(succs[p]) == 1):
+                # back edge from a single-successor block: the post-pass
+                # will place the repair at its end; estimate that cost
+                weighted += freq.get(p, 1.0)
+                static += 1
+            else:
+                entry_needed = True
+        if entry_needed:
+            weighted += block_freq
+            static += 1
+            plan = [("entry", name, cls, v)]  # entry repair covers everything
+        cost = (weighted, static)
+        plans[v] = plan
+        if best_cost is None or cost < best_cost:
+            best_cost, best_value = cost, v
+
+    for item in plans[best_value]:
+        repairs.append(item)
+        if item[0] == "pred":
+            # the predecessor's exit now delivers the canonical value
+            exit_values[item[1]][cls] = item[3]
+    return best_value
+
+
+def _plan_block_repairs(fn: Function, config: EncodingConfig, name: str,
+                        cls: str, want: int, pending: List[str], succs,
+                        entry_values, exit_values, freq, repairs) -> None:
+    """Repair residual mismatching edges discovered after all entries are
+    fixed (mostly back edges).  All-pred-end when every pending edge allows
+    it, otherwise a single block-entry repair covers them all."""
+    all_decided = {b.name: True for b in fn.blocks}
+    safe = [
+        p for p in pending
+        if config.join_repair == "pred_end"
+        and _pred_end_safe(fn, p, cls, want, name, succs, entry_values,
+                           all_decided)
+    ]
+    if len(safe) == len(pending):
+        for p in safe:
+            repairs.append(("pred", p, cls, want))
+            exit_values[p][cls] = want
+    else:
+        repairs.append(("entry", name, cls, want))

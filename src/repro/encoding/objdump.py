@@ -1,0 +1,69 @@
+"""objdump-style listings for packed differential binaries.
+
+Renders a :class:`~repro.encoding.binary.PackedProgram` the way a
+disassembler would: bit offsets, the raw bits of every instruction, and
+the decoded mnemonic — ``set_last_reg`` lines are kept and marked, since a
+disassembler sees them even though the pipeline discards them at decode.
+Useful for eyeballing exactly what the encoder emitted.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.encoding.binary import PackedProgram, unpack_function
+from repro.ir.printer import format_instr
+
+__all__ = ["disassemble"]
+
+
+def _bits_of(packed: PackedProgram, start: int, end: int,
+             limit: int = 40) -> str:
+    out: List[str] = []
+    for pos in range(start, min(end, start + limit)):
+        byte = packed.data[pos // 8]
+        out.append(str((byte >> (7 - pos % 8)) & 1))
+        if (pos - start) % 8 == 7:
+            out.append(" ")
+    text = "".join(out).strip()
+    if end - start > limit:
+        text += "..."
+    return text
+
+
+def disassemble(packed: PackedProgram) -> str:
+    """Render the packed program as an annotated listing."""
+    extents: List[Tuple[str, int, int, bool]] = []
+    decoded = unpack_function(packed, collect_extents=extents)
+
+    cfg = packed.config
+    lines = [
+        f"; {packed.name}: {packed.n_bits} bits "
+        f"({packed.size_bytes:.1f} bytes), "
+        f"{cfg.field_bits}-bit register fields, "
+        f"RegN={cfg.reg_n} DiffN={cfg.diff_n}",
+    ]
+
+    # group extents per block; the decoded function has the non-setlr
+    # instructions in the same order as the non-setlr extents
+    by_block: dict = {}
+    for name, start, end, is_setlr in extents:
+        by_block.setdefault(name, []).append((start, end, is_setlr))
+
+    for block, entry in zip(decoded.blocks, packed.block_entries):
+        anchors = ", ".join(f"{cls}=r{val}" for cls, val in entry)
+        lines.append(f"{block.name}:    ; entry last_reg {anchors}")
+        instr_iter = iter(block.instrs)
+        for start, end, is_setlr in by_block.get(block.name, ()):
+            bits = _bits_of(packed, start, end)
+            if is_setlr:
+                lines.append(
+                    f"  {start:6d}: {bits:<44} ; set_last_reg "
+                    "(dies at decode)"
+                )
+            else:
+                instr = next(instr_iter)
+                lines.append(
+                    f"  {start:6d}: {bits:<44} {format_instr(instr)}"
+                )
+    return "\n".join(lines)

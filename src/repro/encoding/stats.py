@@ -1,0 +1,82 @@
+"""Difference-distribution statistics.
+
+Differential encoding is profitable exactly because real access sequences
+concentrate on small clockwise differences — that is the paper's implicit
+empirical premise (and why its Figure 2 example encodes four registers in
+one bit).  This module measures the premise: the histogram of modular
+differences in a function's access sequence, and the coverage a given
+``DiffN`` achieves (the fraction of fields encodable without repair).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.encoding.access_order import access_sequence
+from repro.ir.function import Function
+
+__all__ = ["DifferenceStats", "difference_stats"]
+
+
+@dataclass
+class DifferenceStats:
+    """Histogram of modular differences over one access sequence."""
+
+    reg_n: int
+    histogram: Dict[int, int]          # difference -> occurrences
+    n_fields: int
+
+    def coverage(self, diff_n: int) -> float:
+        """Fraction of fields whose difference fits ``[0, diff_n)`` —
+        an upper bound on repair-free encodability (joins aside)."""
+        if self.n_fields == 0:
+            return 1.0
+        covered = sum(
+            count for diff, count in self.histogram.items() if diff < diff_n
+        )
+        return covered / self.n_fields
+
+    def smallest_diff_n_for(self, target_coverage: float) -> int:
+        """The smallest DiffN reaching ``target_coverage``."""
+        for diff_n in range(1, self.reg_n + 1):
+            if self.coverage(diff_n) >= target_coverage:
+                return diff_n
+        return self.reg_n
+
+    def quantiles(self) -> Tuple[int, int, int]:
+        """(median, p90, max) of the difference distribution."""
+        expanded: List[int] = []
+        for diff in sorted(self.histogram):
+            expanded.extend([diff] * self.histogram[diff])
+        if not expanded:
+            return (0, 0, 0)
+        return (
+            expanded[len(expanded) // 2],
+            expanded[int(len(expanded) * 0.9)],
+            expanded[-1],
+        )
+
+
+def difference_stats(fn: Function, reg_n: int,
+                     order: str = "src_first",
+                     initial: int = 0) -> DifferenceStats:
+    """Measure the difference distribution of an allocated function.
+
+    The sequence is the straight-line layout-order view (like the adjacency
+    graph); registers outside ``[0, reg_n)`` are skipped, as special
+    registers would be.
+    """
+    histogram: Dict[int, int] = {}
+    last = initial
+    n = 0
+    for reg in access_sequence(fn, order):
+        if reg.virtual:
+            raise ValueError("difference statistics need allocated code")
+        if not 0 <= reg.id < reg_n:
+            continue
+        d = (reg.id - last) % reg_n
+        histogram[d] = histogram.get(d, 0) + 1
+        last = reg.id
+        n += 1
+    return DifferenceStats(reg_n=reg_n, histogram=histogram, n_fields=n)

@@ -1,0 +1,31 @@
+"""Experiment harnesses — one per table and figure of Section 10.
+
+* :mod:`repro.experiments.lowend` — Figures 11-14 and Table 1 (the MiBench
+  low-end study).
+* :mod:`repro.experiments.swp` — Tables 2-3 (the software-pipelining study).
+* :mod:`repro.experiments.reporting` — shared table formatting.
+"""
+
+from repro.experiments.reporting import Table, geo_mean
+from repro.experiments.lowend import LowEndExperiment, run_lowend_experiment
+from repro.experiments.swp import SwpExperiment, run_swp_experiment
+from repro.experiments.alternatives import (
+    AlternativesStudy,
+    run_alternatives_study,
+)
+from repro.experiments.sweep import RegNSweep, run_regn_sweep
+from repro.experiments.report import generate_report
+
+__all__ = [
+    "AlternativesStudy",
+    "run_alternatives_study",
+    "RegNSweep",
+    "run_regn_sweep",
+    "generate_report",
+    "Table",
+    "geo_mean",
+    "LowEndExperiment",
+    "run_lowend_experiment",
+    "SwpExperiment",
+    "run_swp_experiment",
+]

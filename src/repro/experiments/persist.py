@@ -1,0 +1,92 @@
+"""JSON persistence for experiment results.
+
+Reproduction runs are deterministic, but they are not free — the full
+low-end study takes seconds and the full 1928-loop population minutes.
+Persisting results lets CI track regressions ("did the Figure 11 ordering
+survive this change?") without re-running, and lets notebooks consume the
+numbers directly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Dict, List
+
+from repro.experiments.lowend import BenchmarkRow, LowEndExperiment
+from repro.experiments.swp import LoopResult, SwpExperiment
+from repro.machine.spec import LowEndConfig
+
+__all__ = [
+    "lowend_to_json",
+    "lowend_from_json",
+    "swp_to_json",
+    "swp_from_json",
+]
+
+_FORMAT_VERSION = 1
+
+
+def lowend_to_json(exp: LowEndExperiment) -> str:
+    """Serialise a low-end experiment (Figures 11-14 inputs)."""
+    return json.dumps({
+        "format": _FORMAT_VERSION,
+        "kind": "lowend",
+        "base_k": exp.base_k,
+        "reg_n": exp.reg_n,
+        "diff_n": exp.diff_n,
+        "rows": [asdict(r) for r in exp.rows],
+    }, indent=2)
+
+
+def lowend_from_json(text: str) -> LowEndExperiment:
+    """Inverse of :func:`lowend_to_json`."""
+    data = json.loads(text)
+    if data.get("kind") != "lowend":
+        raise ValueError(f"not a low-end result file: {data.get('kind')!r}")
+    if data.get("format") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported format version {data.get('format')}")
+    rows = [BenchmarkRow(**r) for r in data["rows"]]
+    return LowEndExperiment(rows, data["base_k"], data["reg_n"],
+                            data["diff_n"], LowEndConfig())
+
+
+def _int_keys(d: Dict[str, int]) -> Dict[int, int]:
+    return {int(k): v for k, v in d.items()}
+
+
+def swp_to_json(exp: SwpExperiment) -> str:
+    """Serialise a software-pipelining experiment (Tables 2-3 inputs)."""
+    return json.dumps({
+        "format": _FORMAT_VERSION,
+        "kind": "swp",
+        "reg_ns": list(exp.reg_ns),
+        "diff_n": exp.diff_n,
+        "loops_time_fraction": exp.loops_time_fraction,
+        "loops_code_fraction": exp.loops_code_fraction,
+        "loops": [asdict(l) for l in exp.loops],
+    }, indent=2)
+
+
+def swp_from_json(text: str) -> SwpExperiment:
+    """Inverse of :func:`swp_to_json`."""
+    data = json.loads(text)
+    if data.get("kind") != "swp":
+        raise ValueError(f"not an SWP result file: {data.get('kind')!r}")
+    if data.get("format") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported format version {data.get('format')}")
+    loops: List[LoopResult] = []
+    for l in data["loops"]:
+        loops.append(LoopResult(
+            name=l["name"],
+            big=l["big"],
+            optimized=l["optimized"],
+            cycles=_int_keys(l["cycles"]),
+            spills=_int_keys(l["spills"]),
+            code_ops=_int_keys(l["code_ops"]),
+            setlr=_int_keys(l["setlr"]),
+        ))
+    exp = SwpExperiment(loops, tuple(data["reg_ns"]), data["diff_n"])
+    exp.loops_time_fraction = data["loops_time_fraction"]
+    exp.loops_code_fraction = data["loops_code_fraction"]
+    return exp

@@ -1,0 +1,64 @@
+"""Plain-text table formatting shared by the experiment harnesses."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+__all__ = ["Table", "geo_mean", "arith_mean"]
+
+
+def arith_mean(values: Iterable[float]) -> float:
+    """Arithmetic mean (0.0 for an empty input)."""
+    vals = list(values)
+    return sum(vals) / len(vals) if vals else 0.0
+
+
+def geo_mean(values: Iterable[float]) -> float:
+    """Geometric mean over the positive values (0.0 if none)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+class Table:
+    """An aligned plain-text table with a title."""
+
+    def __init__(self, title: str, headers: Sequence[str]) -> None:
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row; floats format to two decimals."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append([self._fmt(c) for c in cells])
+
+    @staticmethod
+    def _fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    def render(self) -> str:
+        """The table as aligned plain text."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+        sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        out = [self.title, sep, line(self.headers), sep]
+        out.extend(line(r) for r in self.rows)
+        out.append(sep)
+        return "\n".join(out)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,112 @@
+"""RegN sweep for the low-end configuration.
+
+The paper fixes the low-end differential point at RegN=12, DiffN=8 and
+sweeps registers only in the VLIW study (Table 2).  This harness fills the
+gap: sweep RegN from the direct baseline (8) upward at fixed 3-bit fields
+and watch the trade — spills fall as registers grow, repair cost rises as
+the register circle gets sparser relative to DiffN, and the cycle count
+bottoms out where the marginal spill is worth less than the marginal
+``set_last_reg``.  It shows *why* 12 is a sensible choice for this machine
+class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.profile import profile_block_frequencies
+from repro.experiments.reporting import Table, arith_mean
+from repro.ir.interp import Interpreter
+from repro.machine.lowend import LowEndTimingModel
+from repro.machine.spec import LOWEND, LowEndConfig
+from repro.regalloc.pipeline import run_setup
+from repro.workloads.mibench import MIBENCH, Workload
+
+__all__ = ["SweepPoint", "RegNSweep", "run_regn_sweep"]
+
+
+@dataclass
+class SweepPoint:
+    """Averages over the suite for one RegN."""
+
+    reg_n: int
+    spill_fraction: float
+    setlr_fraction: float
+    relative_cycles: float   # vs the RegN=8 direct baseline
+    relative_energy: float
+
+
+@dataclass
+class RegNSweep:
+    points: List[SweepPoint]
+    diff_n: int
+
+    def table(self) -> Table:
+        """Render the sweep as a table."""
+        t = Table(
+            f"RegN sweep at DiffN={self.diff_n} (3-bit fields, "
+            "differential select, suite averages)",
+            ["RegN", "spill %", "setlr %", "cycles vs direct-8",
+             "energy vs direct-8"],
+        )
+        for p in self.points:
+            t.add_row(p.reg_n, 100 * p.spill_fraction,
+                      100 * p.setlr_fraction, p.relative_cycles,
+                      p.relative_energy)
+        return t
+
+    def best_reg_n(self) -> int:
+        """The RegN with the lowest average relative cycle count."""
+        return min(self.points, key=lambda p: p.relative_cycles).reg_n
+
+
+def run_regn_sweep(workloads: Sequence[Workload] = MIBENCH,
+                   reg_ns: Sequence[int] = (8, 10, 12, 14, 16),
+                   diff_n: int = 8,
+                   config: LowEndConfig = LOWEND,
+                   remap_restarts: int = 20,
+                   use_ilp: bool = True) -> RegNSweep:
+    """Sweep RegN over the kernel suite.
+
+    ``reg_n == diff_n`` points run as plain direct encoding (the baseline);
+    larger RegN uses the differential-select setup.
+    """
+    timing = LowEndTimingModel(config)
+    per_point: Dict[int, Dict[str, List[float]]] = {
+        r: {"spill": [], "setlr": [], "cycles": [], "energy": []}
+        for r in reg_ns
+    }
+    for w in workloads:
+        fn = w.function()
+        args = w.default_args
+        freq = profile_block_frequencies(fn, args)
+        base_cycles: Optional[float] = None
+        base_energy: Optional[float] = None
+        for reg_n in reg_ns:
+            setup = "baseline" if reg_n <= diff_n else "select"
+            prog = run_setup(fn, setup, base_k=diff_n, reg_n=reg_n,
+                             diff_n=diff_n, remap_restarts=remap_restarts,
+                             use_ilp=use_ilp, freq=freq)
+            result = Interpreter().run(prog.final_fn, args)
+            report = timing.time(result.trace)
+            if base_cycles is None:
+                base_cycles = float(report.cycles)
+                base_energy = report.energy
+            stats = per_point[reg_n]
+            stats["spill"].append(prog.spill_fraction)
+            stats["setlr"].append(prog.setlr_fraction)
+            stats["cycles"].append(report.cycles / base_cycles)
+            stats["energy"].append(report.energy / base_energy)
+
+    points = [
+        SweepPoint(
+            reg_n=r,
+            spill_fraction=arith_mean(per_point[r]["spill"]),
+            setlr_fraction=arith_mean(per_point[r]["setlr"]),
+            relative_cycles=arith_mean(per_point[r]["cycles"]),
+            relative_energy=arith_mean(per_point[r]["energy"]),
+        )
+        for r in reg_ns
+    ]
+    return RegNSweep(points, diff_n)

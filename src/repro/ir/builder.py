@@ -1,0 +1,148 @@
+"""A small DSL for constructing IR functions.
+
+The workload kernels (``repro.workloads``) and many tests build programs with
+this builder rather than hand-assembling :class:`Instr` objects::
+
+    fb = FunctionBuilder("axpy")
+    x, y, a = fb.vregs(3)
+    with fb.block("entry"):
+        fb.li(a, 3)
+    ...
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instr import (
+    ALU_IMM_OPS,
+    ALU_REG_OPS,
+    COND_BRANCH_OPS,
+    Instr,
+    Reg,
+    vreg,
+)
+
+__all__ = ["FunctionBuilder"]
+
+
+class FunctionBuilder:
+    """Incrementally build a :class:`Function`.
+
+    Blocks are created with :meth:`block` and become the *current* block;
+    emission helpers append to the current block.  Virtual registers are
+    handed out by :meth:`vreg` / :meth:`vregs`.
+    """
+
+    def __init__(self, name: str, params: Sequence[Reg] = ()) -> None:
+        self.name = name
+        self.params: Tuple[Reg, ...] = tuple(params)
+        self._blocks: List[BasicBlock] = []
+        self._current: Optional[BasicBlock] = None
+        self._next_vreg = max((p.id + 1 for p in self.params if p.virtual), default=0)
+
+    # ------------------------------------------------------------------
+    # registers and blocks
+    # ------------------------------------------------------------------
+
+    def vreg(self, cls: str = "int") -> Reg:
+        """A fresh virtual register."""
+        r = vreg(self._next_vreg, cls)
+        self._next_vreg += 1
+        return r
+
+    def vregs(self, n: int, cls: str = "int") -> List[Reg]:
+        """``n`` fresh virtual registers."""
+        return [self.vreg(cls) for _ in range(n)]
+
+    def block(self, name: str) -> BasicBlock:
+        """Create a new basic block and make it current."""
+        if any(b.name == name for b in self._blocks):
+            raise ValueError(f"duplicate block name {name!r}")
+        b = BasicBlock(name)
+        self._blocks.append(b)
+        self._current = b
+        return b
+
+    def switch_to(self, name: str) -> BasicBlock:
+        """Make an existing block current again."""
+        for b in self._blocks:
+            if b.name == name:
+                self._current = b
+                return b
+        raise KeyError(name)
+
+    def emit(self, instr: Instr) -> Instr:
+        """Append an instruction to the current block."""
+        if self._current is None:
+            raise ValueError("no current block; call .block() first")
+        return self._current.append(instr)
+
+    # ------------------------------------------------------------------
+    # emission helpers
+    # ------------------------------------------------------------------
+
+    def li(self, dst: Reg, value: int) -> Instr:
+        """Load an immediate."""
+        return self.emit(Instr("li", dst=dst, imm=value))
+
+    def mov(self, dst: Reg, src: Reg) -> Instr:
+        """Register copy."""
+        return self.emit(Instr("mov", dst=dst, srcs=(src,)))
+
+    def ld(self, dst: Reg, addr: Reg, offset: int = 0) -> Instr:
+        """Load from ``[addr + offset]``."""
+        return self.emit(Instr("ld", dst=dst, srcs=(addr,), imm=offset))
+
+    def st(self, value: Reg, addr: Reg, offset: int = 0) -> Instr:
+        """Store to ``[addr + offset]``."""
+        return self.emit(Instr("st", srcs=(value, addr), imm=offset))
+
+    def br(self, label: str) -> Instr:
+        """Unconditional branch."""
+        return self.emit(Instr("br", label=label))
+
+    def ret(self, value: Reg) -> Instr:
+        """Return ``value``."""
+        return self.emit(Instr("ret", srcs=(value,)))
+
+    def call(self, label: str, uses: Sequence[Reg] = (), defs: Sequence[Reg] = ()) -> Instr:
+        """Call with explicit register effects."""
+        return self.emit(
+            Instr("call", label=label, call_uses=tuple(uses), call_defs=tuple(defs))
+        )
+
+    def nop(self) -> Instr:
+        """No-op."""
+        return self.emit(Instr("nop"))
+
+    def __getattr__(self, op: str):
+        """ALU and conditional-branch helpers are generated on demand.
+
+        ``fb.add(d, a, b)``, ``fb.addi(d, a, 4)``, ``fb.blt(a, b, "loop")``.
+        """
+        if op in ALU_REG_OPS:
+            def alu(dst: Reg, s1: Reg, s2: Reg, _op=op) -> Instr:
+                return self.emit(Instr(_op, dst=dst, srcs=(s1, s2)))
+            return alu
+        if op in ALU_IMM_OPS:
+            def alui(dst: Reg, s1: Reg, imm: int, _op=op) -> Instr:
+                return self.emit(Instr(_op, dst=dst, srcs=(s1,), imm=imm))
+            return alui
+        if op in COND_BRANCH_OPS:
+            def branch(s1: Reg, s2: Reg, label: str, _op=op) -> Instr:
+                return self.emit(Instr(_op, srcs=(s1, s2), label=label))
+            return branch
+        raise AttributeError(op)
+
+    # ------------------------------------------------------------------
+    # finish
+    # ------------------------------------------------------------------
+
+    def build(self, validate: bool = True) -> Function:
+        """Finish and (by default) validate the function."""
+        fn = Function(self.name, self._blocks, self.params)
+        if validate:
+            fn.validate()
+        return fn

@@ -1,0 +1,230 @@
+"""An executable interpreter for the IR.
+
+The low-end evaluation (Section 10.1) is trace driven: the interpreter runs a
+kernel and records the dynamic instruction stream; the timing model in
+:mod:`repro.machine.lowend` then assigns cycles to that stream.  The
+interpreter works identically on virtual-register code (pre-allocation) and
+physical-register code (post-allocation), which lets tests assert that
+register allocation and differential remapping preserve program semantics.
+
+Semantics notes:
+
+* Values are Python ints truncated to 32-bit two's complement after every
+  ALU op.
+* ``ld``/``st`` address a flat word-addressed memory (a dict); ``ldslot`` /
+  ``stslot`` address an abstract spill-slot file, disjoint from memory.
+* ``setlr`` executes as a no-op: it only matters to the decode stage.
+* ``call`` assigns zero to its ``call_defs`` — the workloads are leaf
+  kernels; calls appear only in calling-convention tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instr import COND_BRANCH_OPS, Instr, Reg
+
+__all__ = ["Interpreter", "ExecutionResult", "InterpError", "TraceEntry"]
+
+_MASK = 0xFFFFFFFF
+
+
+def _wrap(x: int) -> int:
+    """Truncate to signed 32-bit."""
+    x &= _MASK
+    return x - (1 << 32) if x >= (1 << 31) else x
+
+
+class InterpError(RuntimeError):
+    """Raised on runtime faults: undefined register read, step overrun, ..."""
+
+
+@dataclass
+class TraceEntry:
+    """One dynamically executed instruction.
+
+    ``static_index`` is the instruction's position in layout order — the
+    timing model turns it into a PC for the I-cache.  ``mem_addr`` is the
+    effective data address for ``ld``/``st`` (``None`` otherwise;
+    spill-slot ops report a synthetic address in a reserved region so the
+    D-cache sees spill traffic, as it would on real hardware).
+    """
+
+    instr: Instr
+    static_index: int
+    mem_addr: Optional[int] = None
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running a function."""
+
+    return_value: int
+    steps: int
+    trace: List[TraceEntry] = field(default_factory=list)
+    regs: Dict[Reg, int] = field(default_factory=dict)
+    dynamic_counts: Dict[str, int] = field(default_factory=dict)
+
+    def count(self, op: str) -> int:
+        """Dynamic execution count of one opcode."""
+        return self.dynamic_counts.get(op, 0)
+
+
+_SPILL_REGION_BASE = 1 << 24  # synthetic addresses for spill slots
+
+
+class Interpreter:
+    """Execute a :class:`Function`.
+
+    Args:
+        max_steps: hard bound on dynamic instructions, to catch diverging
+            or miscompiled programs in tests.
+        record_trace: disable for speed when only the result matters.
+    """
+
+    def __init__(self, max_steps: int = 2_000_000, record_trace: bool = True) -> None:
+        self.max_steps = max_steps
+        self.record_trace = record_trace
+
+    def run(self, fn: Function, args: Tuple[int, ...] = (),
+            memory: Optional[Dict[int, int]] = None) -> ExecutionResult:
+        """Run ``fn`` with ``args`` bound to its parameters.
+
+        ``memory`` (word address -> value) is mutated in place, so callers
+        can inspect stores after the run.
+        """
+        if len(args) != len(fn.params):
+            raise InterpError(
+                f"{fn.name} expects {len(fn.params)} args, got {len(args)}"
+            )
+        regs: Dict[Reg, int] = dict(zip(fn.params, args))
+        mem: Dict[int, int] = memory if memory is not None else {}
+        slots: Dict[int, int] = {}
+        static_index = {
+            instr.uid: i for i, instr in enumerate(fn.instructions())
+        }
+        trace: List[TraceEntry] = []
+        counts: Dict[str, int] = {}
+
+        def read(r: Reg) -> int:
+            try:
+                return regs[r]
+            except KeyError:
+                raise InterpError(f"read of undefined register {r} in {fn.name}")
+
+        block_idx = 0
+        instr_idx = 0
+        steps = 0
+        while True:
+            if steps >= self.max_steps:
+                raise InterpError(
+                    f"{fn.name}: exceeded {self.max_steps} steps (diverging?)"
+                )
+            block = fn.blocks[block_idx]
+            if instr_idx >= len(block.instrs):
+                # fall through to the next block in layout order
+                block_idx += 1
+                instr_idx = 0
+                if block_idx >= len(fn.blocks):
+                    raise InterpError(f"{fn.name}: fell off the end")
+                continue
+            instr = block.instrs[instr_idx]
+            steps += 1
+            counts[instr.op] = counts.get(instr.op, 0) + 1
+            mem_addr: Optional[int] = None
+            op = instr.op
+
+            if op == "li":
+                regs[instr.dst] = _wrap(instr.imm)
+            elif op == "mov":
+                regs[instr.dst] = read(instr.srcs[0])
+            elif op == "ld":
+                mem_addr = _wrap(read(instr.srcs[0]) + instr.imm)
+                regs[instr.dst] = mem.get(mem_addr, 0)
+            elif op == "st":
+                mem_addr = _wrap(read(instr.srcs[1]) + instr.imm)
+                mem[mem_addr] = read(instr.srcs[0])
+            elif op == "ldslot":
+                mem_addr = _SPILL_REGION_BASE + int(instr.imm)
+                regs[instr.dst] = slots.get(instr.imm, 0)
+            elif op == "stslot":
+                mem_addr = _SPILL_REGION_BASE + int(instr.imm)
+                slots[instr.imm] = read(instr.srcs[0])
+            elif op == "setlr" or op == "nop":
+                pass
+            elif op == "call":
+                for d in instr.call_defs:
+                    regs[d] = 0
+            elif op == "ret":
+                value = read(instr.srcs[0])
+                if self.record_trace:
+                    trace.append(TraceEntry(instr, static_index[instr.uid]))
+                return ExecutionResult(value, steps, trace, regs, counts)
+            elif op == "br":
+                if self.record_trace:
+                    trace.append(TraceEntry(instr, static_index[instr.uid]))
+                block_idx = fn.block_index(instr.label)
+                instr_idx = 0
+                continue
+            elif op in COND_BRANCH_OPS:
+                a, b = read(instr.srcs[0]), read(instr.srcs[1])
+                taken = {
+                    "beq": a == b,
+                    "bne": a != b,
+                    "blt": a < b,
+                    "bge": a >= b,
+                    "bgt": a > b,
+                    "ble": a <= b,
+                }[op]
+                if self.record_trace:
+                    trace.append(TraceEntry(instr, static_index[instr.uid]))
+                if taken:
+                    block_idx = fn.block_index(instr.label)
+                    instr_idx = 0
+                else:
+                    instr_idx += 1
+                continue
+            else:
+                regs[instr.dst] = self._alu(op, instr, read)
+
+            if self.record_trace:
+                trace.append(
+                    TraceEntry(instr, static_index[instr.uid], mem_addr)
+                )
+            instr_idx += 1
+
+    @staticmethod
+    def _alu(op: str, instr: Instr, read) -> int:
+        a = read(instr.srcs[0])
+        b = read(instr.srcs[1]) if len(instr.srcs) > 1 else int(instr.imm)
+        if op in ("add", "addi"):
+            return _wrap(a + b)
+        if op in ("sub", "subi"):
+            return _wrap(a - b)
+        if op in ("mul", "muli"):
+            return _wrap(a * b)
+        if op == "div":
+            if b == 0:
+                raise InterpError("division by zero")
+            return _wrap(int(a / b))  # C-style truncating division
+        if op == "rem":
+            if b == 0:
+                raise InterpError("remainder by zero")
+            return _wrap(a - int(a / b) * b)
+        if op in ("and", "andi"):
+            return _wrap(a & b)
+        if op in ("or", "ori"):
+            return _wrap(a | b)
+        if op in ("xor", "xori"):
+            return _wrap(a ^ b)
+        if op in ("shl", "shli"):
+            return _wrap(a << (b & 31))
+        if op in ("shr", "shri"):
+            return _wrap((a & _MASK) >> (b & 31))
+        if op in ("slt", "slti"):
+            return 1 if a < b else 0
+        if op == "sge":
+            return 1 if a >= b else 0
+        raise InterpError(f"unimplemented opcode {op}")

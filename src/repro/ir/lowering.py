@@ -1,0 +1,88 @@
+"""Two-address lowering (THUMB-style instruction forms).
+
+The paper's low-end machine mimics ARM/THUMB, whose 16-bit ALU
+instructions are *two-address*: ``add rd, rs`` computes ``rd += rs``, so an
+instruction carries two register fields, not three.  Our IR is
+three-address; this pass rewrites every register-register ALU instruction
+into two-address form::
+
+    add v3, v1, v2    ->    mov v3, v1 ; add v3, v3, v2
+
+(no copy when the destination already equals the first source, or when the
+operation commutes and matches the second source).  Lowered code is what
+the ``two_address`` access order in :mod:`repro.encoding.access_order`
+expects: with ``dst == src1`` guaranteed, the ISA encodes two fields per
+ALU instruction and the adjacency graph loses the third-field pressure —
+one reason whole THUMB programs pay a lower ``set_last_reg`` rate than
+dense three-address kernels (see EXPERIMENTS.md's Figure 12 discussion).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instr import ALU_REG_OPS, Instr
+
+__all__ = ["to_two_address", "is_two_address"]
+
+_COMMUTATIVE = frozenset({"add", "mul", "and", "or", "xor"})
+
+
+def to_two_address(fn: Function) -> Tuple[Function, int]:
+    """Rewrite register-register ALU ops so ``dst == src1``.
+
+    Returns ``(lowered_fn, copies inserted)``.  Semantics preserving:
+
+    * ``dst == src1`` already — untouched;
+    * ``dst == src2``, commutative op — operands swap, no copy;
+    * ``dst == src2``, non-commutative op — ``mov dst, src1`` would clobber
+      the second source, so the instruction stays three-address (real ISAs
+      use a scratch register here; allocators rarely produce the pattern);
+    * otherwise — ``mov dst, src1`` then ``op dst, dst, src2``.
+    """
+    out = fn.copy()
+    copies = 0
+    for block in out.blocks:
+        new_instrs: List[Instr] = []
+        for instr in block.instrs:
+            if instr.op not in ALU_REG_OPS or instr.dst is None:
+                new_instrs.append(instr)
+                continue
+            dst, (s1, s2) = instr.dst, instr.srcs
+            if dst == s1:
+                new_instrs.append(instr)
+                continue
+            if dst == s2 and instr.op in _COMMUTATIVE:
+                swapped = instr.copy()
+                swapped.srcs = (s2, s1)
+                new_instrs.append(swapped)
+                continue
+            if dst == s2:
+                # dst aliases the second source of a non-commutative op:
+                # `mov dst, s1` would clobber s2.  Compute into the first
+                # source's register?  That clobbers s1 for later uses.
+                # The robust rewrite keeps this instruction three-address;
+                # real ISAs handle it with a scratch register, and
+                # allocators rarely produce the pattern (the coalescer
+                # prefers dst == s1).
+                new_instrs.append(instr)
+                continue
+            new_instrs.append(Instr("mov", dst=dst, srcs=(s1,)))
+            copies += 1
+            lowered = instr.copy()
+            lowered.srcs = (dst, s2)
+            new_instrs.append(lowered)
+        block.instrs = new_instrs
+    out.validate()
+    return out, copies
+
+
+def is_two_address(fn: Function) -> bool:
+    """Whether every register-register ALU op satisfies ``dst == src1``
+    (``dst == src2`` residuals from :func:`to_two_address` excepted)."""
+    for instr in fn.instructions():
+        if instr.op in ALU_REG_OPS and instr.dst is not None:
+            if instr.dst not in (instr.srcs[0], instr.srcs[1]):
+                return False
+    return True

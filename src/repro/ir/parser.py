@@ -1,0 +1,161 @@
+"""Parser for the textual assembly emitted by :mod:`repro.ir.printer`.
+
+The grammar is deliberately tiny; it exists so tests and examples can write
+programs as strings and so printer output round-trips.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instr import COND_BRANCH_OPS, Instr, OPCODES, Reg
+
+__all__ = ["parse_function", "ParseError"]
+
+
+class ParseError(ValueError):
+    """Raised on malformed assembly text."""
+
+
+_REG_RE = re.compile(r"^([vr])(\d+)(?:\.(\w+))?$")
+_FUNC_RE = re.compile(r"^func\s+(\w+)\s*\(([^)]*)\)\s*:$")
+_LABEL_RE = re.compile(r"^(\w+):$")
+_MEM_RE = re.compile(r"^\[\s*([vr]\d+(?:\.\w+)?)\s*\+\s*(-?\d+)\s*\]$")
+_SLOT_RE = re.compile(r"^slot(\d+)$")
+
+
+def _parse_reg(tok: str, line_no: int) -> Reg:
+    m = _REG_RE.match(tok.strip())
+    if not m:
+        raise ParseError(f"line {line_no}: expected register, got {tok!r}")
+    kind, rid, cls = m.groups()
+    return Reg(int(rid), virtual=(kind == "v"), cls=cls or "int")
+
+
+def _split_operands(rest: str) -> List[str]:
+    """Split an operand list on top-level commas (commas inside [] kept)."""
+    parts: List[str] = []
+    depth = 0
+    cur = ""
+    for ch in rest:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append(cur.strip())
+            cur = ""
+        else:
+            cur += ch
+    if cur.strip():
+        parts.append(cur.strip())
+    return parts
+
+
+def _parse_instr(text: str, line_no: int) -> Instr:
+    text = text.strip()
+    if " " in text:
+        op, rest = text.split(None, 1)
+    else:
+        op, rest = text, ""
+    if op not in OPCODES:
+        raise ParseError(f"line {line_no}: unknown opcode {op!r}")
+    ops = _split_operands(rest)
+
+    def reg(i: int) -> Reg:
+        return _parse_reg(ops[i], line_no)
+
+    def imm(i: int) -> int:
+        try:
+            return int(ops[i], 0)
+        except ValueError:
+            raise ParseError(f"line {line_no}: expected immediate, got {ops[i]!r}")
+
+    try:
+        if op == "li":
+            return Instr("li", dst=reg(0), imm=imm(1))
+        if op == "mov":
+            return Instr("mov", dst=reg(0), srcs=(reg(1),))
+        if op == "ld":
+            m = _MEM_RE.match(ops[1])
+            if not m:
+                raise ParseError(f"line {line_no}: bad address {ops[1]!r}")
+            return Instr("ld", dst=reg(0), srcs=(_parse_reg(m.group(1), line_no),),
+                         imm=int(m.group(2)))
+        if op == "st":
+            m = _MEM_RE.match(ops[1])
+            if not m:
+                raise ParseError(f"line {line_no}: bad address {ops[1]!r}")
+            return Instr("st", srcs=(reg(0), _parse_reg(m.group(1), line_no)),
+                         imm=int(m.group(2)))
+        if op == "ldslot":
+            m = _SLOT_RE.match(ops[1])
+            if not m:
+                raise ParseError(f"line {line_no}: bad slot {ops[1]!r}")
+            return Instr("ldslot", dst=reg(0), imm=int(m.group(1)))
+        if op == "stslot":
+            m = _SLOT_RE.match(ops[1])
+            if not m:
+                raise ParseError(f"line {line_no}: bad slot {ops[1]!r}")
+            return Instr("stslot", srcs=(reg(0),), imm=int(m.group(1)))
+        if op == "br":
+            return Instr("br", label=ops[0])
+        if op in COND_BRANCH_OPS:
+            return Instr(op, srcs=(reg(0), reg(1)), label=ops[2])
+        if op == "ret":
+            return Instr("ret", srcs=(reg(0),))
+        if op == "setlr":
+            value = imm(0)
+            delay = imm(1) if len(ops) > 1 else 0
+            cls = ops[2] if len(ops) > 2 else "int"
+            return Instr("setlr", imm=(value, delay, cls))
+        if op == "nop":
+            return Instr("nop")
+        if op == "call":
+            raise ParseError(f"line {line_no}: call is not parseable from text")
+        info = OPCODES[op]
+        if info.has_imm:
+            return Instr(op, dst=reg(0), srcs=(reg(1),), imm=imm(2))
+        return Instr(op, dst=reg(0), srcs=(reg(1), reg(2)))
+    except IndexError:
+        raise ParseError(f"line {line_no}: too few operands for {op}")
+
+
+def parse_function(text: str) -> Function:
+    """Parse one function from assembly text."""
+    name: Optional[str] = None
+    params: Tuple[Reg, ...] = ()
+    blocks: List[BasicBlock] = []
+    current: Optional[BasicBlock] = None
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        m = _FUNC_RE.match(line)
+        if m:
+            if name is not None:
+                raise ParseError(f"line {line_no}: second func header")
+            name = m.group(1)
+            plist = m.group(2).strip()
+            if plist:
+                params = tuple(
+                    _parse_reg(p, line_no) for p in plist.split(",")
+                )
+            continue
+        m = _LABEL_RE.match(line)
+        if m:
+            current = BasicBlock(m.group(1))
+            blocks.append(current)
+            continue
+        if name is None:
+            raise ParseError(f"line {line_no}: instruction before func header")
+        if current is None:
+            raise ParseError(f"line {line_no}: instruction before first label")
+        current.append(_parse_instr(line, line_no))
+    if name is None:
+        raise ParseError("no func header found")
+    fn = Function(name, blocks, params)
+    fn.validate()
+    return fn

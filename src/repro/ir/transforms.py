@@ -1,0 +1,188 @@
+"""IR cleanup transforms: dead-code elimination and copy propagation.
+
+The allocation pipelines occasionally leave residue — dead stores after
+optimal-spill splitting, copies the conservative coalescer declined to
+merge.  These standard passes clean it up; they are also useful standalone
+when preparing input programs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instr import Instr, Reg
+
+# NOTE: repro.analysis imports are deferred to call time.  The ir package
+# must stay importable before analysis/encoding exist (repro/__init__ pulls
+# encoding, whose access-order module imports repro.ir — a module-level
+# analysis import here would close that cycle).
+
+__all__ = ["dead_code_elimination", "copy_propagation", "cleanup"]
+
+_SIDE_EFFECTS = frozenset({"st", "stslot", "br", "ret", "call", "setlr",
+                           "beq", "bne", "blt", "bge", "bgt", "ble"})
+
+
+def dead_code_elimination(fn: Function, max_rounds: int = 8
+                          ) -> Tuple[Function, int]:
+    """Remove instructions whose results are never used.
+
+    Only side-effect-free instructions are candidates (stores, branches,
+    ``set_last_reg`` and calls always stay).  Iterates to a fixed point —
+    removing one dead value can kill its producers.  Returns ``(new_fn,
+    instructions removed)``.
+    """
+    from repro.analysis.liveness import compute_liveness
+
+    out = fn.copy()
+    removed = 0
+    for _ in range(max_rounds):
+        liveness = compute_liveness(out)
+        changed = False
+        for block in out.blocks:
+            kept: List[Instr] = []
+            for instr in block.instrs:
+                if instr.op in _SIDE_EFFECTS or not instr.defs():
+                    kept.append(instr)
+                    continue
+                live_after = liveness.instr_live_out[instr.uid]
+                if any(d in live_after for d in instr.defs()):
+                    kept.append(instr)
+                else:
+                    removed += 1
+                    changed = True
+            block.instrs = kept
+        if not changed:
+            break
+    return out, removed
+
+
+def copy_propagation(fn: Function) -> Tuple[Function, int]:
+    """Forward copies within basic blocks: after ``mov x, y``, uses of ``x``
+    read ``y`` until either is redefined.
+
+    A local (per-block) pass: copies are not propagated across block
+    boundaries, so no dataflow join logic is needed.  Combined with
+    :func:`dead_code_elimination` it removes copies whose value was only
+    forwarded.  Returns ``(new_fn, uses rewritten)``.
+    """
+    out = fn.copy()
+    rewritten = 0
+    for block in out.blocks:
+        available: Dict[Reg, Reg] = {}  # copy dst -> original source
+        new_instrs: List[Instr] = []
+        for instr in block.instrs:
+            mapping = {
+                r: available[r] for r in instr.uses() if r in available
+            }
+            if mapping:
+                rewritten += len(mapping)
+                instr = _rewrite_uses(instr, mapping)
+            for d in instr.defs():
+                # a redefinition invalidates copies into or out of d
+                available = {
+                    dst: src for dst, src in available.items()
+                    if dst != d and src != d
+                }
+            if instr.is_move() and instr.dst != instr.srcs[0]:
+                available[instr.dst] = instr.srcs[0]
+            new_instrs.append(instr)
+        block.instrs = new_instrs
+    return out, rewritten
+
+
+def _rewrite_uses(instr: Instr, mapping: Dict[Reg, Reg]) -> Instr:
+    """Rewrite only the *uses* of an instruction, leaving defs in place."""
+    new = instr.rewrite(mapping)
+    if instr.dst is not None and instr.dst in mapping:
+        new = new.copy()
+        new.dst = instr.dst
+    return new
+
+
+def global_copy_propagation(fn: Function) -> Tuple[Function, int]:
+    """Forward copies across basic blocks.
+
+    Classic available-copies dataflow: a copy ``x := y`` reaches a block
+    entry if it is available at the exit of *every* predecessor (must
+    intersection), and any redefinition of either side kills it.  Uses of
+    ``x`` under a reaching copy read ``y`` instead.  Loops converge because
+    the available set only shrinks across iterations.
+
+    Returns ``(new_fn, uses rewritten)``.
+    """
+    names = [b.name for b in fn.blocks]
+    _, preds = fn.cfg()
+
+    def transfer(block, inp: Dict[Reg, Reg]) -> Dict[Reg, Reg]:
+        avail = dict(inp)
+        for instr in block.instrs:
+            for d in instr.defs():
+                avail = {
+                    dst: src for dst, src in avail.items()
+                    if dst != d and src != d
+                }
+            if instr.is_move() and instr.dst != instr.srcs[0]:
+                avail[instr.dst] = instr.srcs[0]
+        return avail
+
+    # fixed point over block-exit available-copy maps; entry starts empty,
+    # unreached blocks start at "top" (None = everything available)
+    out_maps: Dict[str, object] = {n: None for n in names}
+    out_maps[fn.entry.name] = transfer(fn.entry, {})
+    changed = True
+    while changed:
+        changed = False
+        for block in fn.blocks:
+            if block.name == fn.entry.name:
+                continue
+            pred_maps = [out_maps[p] for p in preds[block.name]]
+            known = [m for m in pred_maps if m is not None]
+            if not known:
+                continue
+            inp: Dict[Reg, Reg] = dict(known[0])
+            for m in known[1:]:
+                inp = {
+                    k: v for k, v in inp.items() if m.get(k) == v
+                }
+            new_out = transfer(block, inp)
+            if new_out != out_maps[block.name]:
+                out_maps[block.name] = new_out
+                changed = True
+
+    # rewrite pass with the converged entry maps
+    new_fn = fn.copy()
+    rewritten = 0
+    for block in new_fn.blocks:
+        pred_maps = [out_maps[p] for p in preds[block.name]]
+        known = [m for m in pred_maps if m is not None]
+        if block.name == new_fn.entry.name or not known:
+            avail: Dict[Reg, Reg] = {}
+        else:
+            avail = dict(known[0])
+            for m in known[1:]:
+                avail = {k: v for k, v in avail.items() if m.get(k) == v}
+        new_instrs: List[Instr] = []
+        for instr in block.instrs:
+            mapping = {r: avail[r] for r in instr.uses() if r in avail}
+            if mapping:
+                rewritten += len(mapping)
+                instr = _rewrite_uses(instr, mapping)
+            for d in instr.defs():
+                avail = {
+                    dst: src for dst, src in avail.items()
+                    if dst != d and src != d
+                }
+            if instr.is_move() and instr.dst != instr.srcs[0]:
+                avail[instr.dst] = instr.srcs[0]
+            new_instrs.append(instr)
+        block.instrs = new_instrs
+    return new_fn, rewritten
+
+
+def cleanup(fn: Function) -> Tuple[Function, int]:
+    """Global copy propagation followed by DCE; returns (new_fn, changes)."""
+    out, rewritten = global_copy_propagation(fn)
+    out, removed = dead_code_elimination(out)
+    return out, rewritten + removed

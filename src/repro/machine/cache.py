@@ -1,0 +1,67 @@
+"""Set-associative cache simulation with LRU replacement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["Cache", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """A byte-addressed set-associative cache.
+
+    Args:
+        size: total capacity in bytes.
+        line_size: bytes per line (power of two).
+        assoc: ways per set.
+    """
+
+    def __init__(self, size: int, line_size: int = 32, assoc: int = 2) -> None:
+        if size % (line_size * assoc) != 0:
+            raise ValueError("size must be a multiple of line_size * assoc")
+        if line_size & (line_size - 1):
+            raise ValueError("line_size must be a power of two")
+        self.size = size
+        self.line_size = line_size
+        self.assoc = assoc
+        self.n_sets = size // (line_size * assoc)
+        # each set is an LRU-ordered list of tags, most recent last
+        self._sets: Dict[int, List[int]] = {}
+        self.stats = CacheStats()
+
+    def access(self, addr: int) -> bool:
+        """Access one byte address; returns True on hit."""
+        self.stats.accesses += 1
+        line = addr // self.line_size
+        idx = line % self.n_sets
+        tag = line // self.n_sets
+        ways = self._sets.setdefault(idx, [])
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)
+            return True
+        self.stats.misses += 1
+        ways.append(tag)
+        if len(ways) > self.assoc:
+            ways.pop(0)
+        return False
+
+    def reset(self) -> None:
+        """Invalidate all lines and clear statistics."""
+        self._sets.clear()
+        self.stats = CacheStats()

@@ -1,0 +1,101 @@
+"""Chaitin-Briggs graph-coloring allocation (optimistic spilling).
+
+Simpler than iterated coalescing — no coalescing at all — but useful both as
+a reference point and to exercise differential remapping behind a second
+allocator (the paper stresses remapping "can follow any register allocator").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.frequency import estimate_block_frequencies
+from repro.analysis.interference import build_interference
+from repro.ir.function import Function
+from repro.ir.instr import Reg
+from repro.regalloc.base import AllocationError, AllocationResult, spill_cost_estimates
+from repro.regalloc.iterated import _rewrite_with_colors
+from repro.regalloc.spill import (
+    SpillSlotAllocator,
+    first_free_slot,
+    insert_spill_code,
+)
+
+__all__ = ["chaitin_allocate"]
+
+
+def _color_round(fn: Function, k: int, costs: Dict[Reg, float],
+                 no_spill: Set[Reg]):
+    """One simplify/select round; returns (coloring, spilled)."""
+    graph = build_interference(fn)
+    work = graph.copy()
+    stack: List[Reg] = []
+    nodes = [n for n in graph.nodes() if n.virtual]
+    in_graph = set(nodes)
+
+    while in_graph:
+        low = sorted(n for n in in_graph if work.degree(n) < k)
+        if low:
+            n = low[0]
+        else:
+            # optimistic potential spill: cheapest cost/degree
+            n = min(
+                (x for x in in_graph if x not in no_spill),
+                key=lambda x: (costs.get(x, 1.0) / max(1, work.degree(x)), x),
+                default=None,
+            )
+            if n is None:
+                n = min(in_graph)
+        stack.append(n)
+        in_graph.discard(n)
+        work.remove_node(n)
+
+    color: Dict[Reg, int] = {
+        n: n.id for n in graph.nodes() if not n.virtual
+    }
+    spilled: Set[Reg] = set()
+    while stack:
+        n = stack.pop()
+        used = {
+            color[w] for w in graph.neighbors(n) if w in color
+        }
+        ok = [c for c in range(k) if c not in used]
+        if ok:
+            color[n] = ok[0]
+        else:
+            spilled.add(n)
+    return color, spilled
+
+
+def chaitin_allocate(fn: Function, k: int, max_rounds: int = 64) -> AllocationResult:
+    """Allocate with Chaitin-Briggs optimistic coloring."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    current = fn
+    slots = SpillSlotAllocator(first_free_slot(fn))
+    next_vreg = fn.max_vreg_id() + 1
+    no_spill: Set[Reg] = set()
+    all_spilled: Set[Reg] = set()
+    freq = estimate_block_frequencies(fn)
+
+    for round_no in range(1, max_rounds + 1):
+        costs = spill_cost_estimates(current, freq)
+        color, spilled = _color_round(current, k, costs, no_spill)
+        if not spilled:
+            allocated, removed = _rewrite_with_colors(current, color)
+            return AllocationResult(
+                fn=allocated,
+                coloring=color,
+                spilled=frozenset(all_spilled),
+                k=k,
+                rounds=round_no,
+                moves_removed=removed,
+            )
+        all_spilled |= spilled
+        current, next_vreg, temps = insert_spill_code(
+            current, spilled, slots, next_vreg
+        )
+        no_spill |= temps
+    raise AllocationError(
+        f"{fn.name}: no coloring with k={k} after {max_rounds} rounds"
+    )

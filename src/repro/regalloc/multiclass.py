@@ -1,0 +1,77 @@
+"""Per-class register allocation (paper Section 9.1).
+
+"Normally, registers belong to multiple classes such as integer registers,
+floating point registers etc. ... all register allocation algorithms can be
+applied accordingly to each class of registers."  Classes are independent:
+each has its own register file, its own interference graph, its own access
+sequence and — under differential encoding — its own ``last_reg``.
+
+:func:`allocate_classes` runs iterated register coalescing once per class,
+feeding each round's output into the next, and merges the results.  The
+encoder (`EncodingConfig(classes=(...))`) then encodes every class it is
+told about with separate decoder state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional
+
+from repro.ir.function import Function
+from repro.regalloc.base import AllocationResult
+from repro.regalloc.iterated import ColorSelector, iterated_allocate
+
+__all__ = ["MultiClassResult", "allocate_classes"]
+
+
+@dataclass
+class MultiClassResult:
+    """Allocations for every register class of one function."""
+
+    fn: Function
+    per_class: Dict[str, AllocationResult]
+
+    @property
+    def n_spill_instructions(self) -> int:
+        return sum(
+            1 for i in self.fn.instructions() if i.op in ("ldslot", "stslot")
+        )
+
+    def coloring(self, cls: str) -> Dict:
+        """The register assignment of one class."""
+        return self.per_class[cls].coloring
+
+
+def allocate_classes(fn: Function, budgets: Mapping[str, int],
+                     selector_factory: Optional[
+                         Callable[[str], Optional[ColorSelector]]] = None,
+                     freq: Optional[Dict[str, float]] = None
+                     ) -> MultiClassResult:
+    """Allocate every register class of ``fn``.
+
+    Args:
+        budgets: register count per class name, e.g.
+            ``{"int": 8, "float": 16}``.  Every class appearing in the
+            function must have a budget.
+        selector_factory: optional ``cls -> ColorSelector`` hook so each
+            class can get its own differential selector (classes may have
+            different RegN/DiffN).
+
+    Classes are allocated in sorted name order; each allocation rewrites
+    only its own class's registers, so the passes compose.
+    """
+    present = {r.cls for r in fn.registers() if r.virtual}
+    missing = present - set(budgets)
+    if missing:
+        raise ValueError(f"no register budget for classes {sorted(missing)}")
+
+    current = fn
+    per_class: Dict[str, AllocationResult] = {}
+    for cls in sorted(present):
+        selector = selector_factory(cls) if selector_factory else None
+        result = iterated_allocate(
+            current, budgets[cls], selector=selector, freq=freq, cls=cls
+        )
+        per_class[cls] = result
+        current = result.fn
+    return MultiClassResult(fn=current, per_class=per_class)

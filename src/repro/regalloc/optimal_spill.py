@@ -1,0 +1,676 @@
+"""Optimal spilling (Appel & George, PLDI 2001) — the *O-spill* allocator.
+
+The paper's third scheme builds on an allocator that first decides spills
+*optimally* with an ILP solver, then coalesces the resulting moves and colors
+the graph.  We reproduce that structure:
+
+1. **Residence decisions** (:func:`decide_residence`): for every virtual
+   register and every program point where it is live, a binary variable says
+   whether the value sits in a register or in its spill slot.  Constraints:
+   at most ``k`` values in registers at any point; operands of an
+   instruction must be in registers at it; definitions write to registers;
+   residence agrees across CFG edges.  The objective minimises frequency
+   weighted loads (memory→register transitions) plus stores
+   (register→memory transitions of dirty values).  Solved exactly with
+   ``scipy.optimize.milp`` (HiGHS) — the authors used CPLEX — with a greedy
+   spill-everywhere fallback when scipy is unavailable or the instance
+   exceeds ``max_ilp_vars``.
+
+   One deliberate simplification versus Appel-George: residence may not
+   change on a CFG *edge* (no edge splitting), so loads/stores live inside
+   blocks only.  This loses a little optimality but keeps codegen simple;
+   DESIGN.md records the substitution.
+
+2. **Live-range splitting** (:func:`apply_residence`): every maximal
+   in-register interval of a spilled value becomes a fresh virtual register
+   connected through the spill slot (``ldslot``/``stslot``).  Clean values
+   (no definition since the last load) skip the write-back.
+
+3. Coloring happens downstream — :func:`optimal_spill_allocate` feeds the
+   split function to iterated register coalescing, and
+   :mod:`repro.regalloc.diff_coalesce` runs the paper's cost-driven
+   coalescing loop instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.analysis.frequency import estimate_block_frequencies
+from repro.analysis.liveness import LivenessInfo, compute_liveness
+from repro.ir.function import Function
+from repro.ir.instr import Instr, Reg
+from repro.regalloc.base import AllocationResult
+from repro.regalloc.iterated import ColorSelector, iterated_allocate
+from repro.regalloc.spill import SpillSlotAllocator
+
+__all__ = [
+    "ResidencePlan",
+    "decide_residence",
+    "apply_residence",
+    "optimal_spill_allocate",
+]
+
+
+@dataclass
+class ResidencePlan:
+    """Residence vectors: ``residence[v][block][j]`` is True when ``v`` is in
+    a register at point ``j`` of the block (point ``j`` precedes instruction
+    ``j``; the final point is the block exit)."""
+
+    residence: Dict[Reg, Dict[str, List[bool]]]
+    spilled: Set[Reg]
+    objective: float
+    solver: str
+
+    def is_resident(self, v: Reg, block: str, point: int) -> bool:
+        """Whether ``v`` sits in a register at the given point.
+
+        Values never spilled are always resident; for spilled values, points
+        where the value is dead read as non-resident.
+        """
+        if v not in self.residence:
+            return True
+        vec = self.residence[v].get(block)
+        return bool(vec and vec[point])
+
+
+# ----------------------------------------------------------------------
+# problem extraction shared by the ILP and the greedy fallback
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Points:
+    """Liveness per program point for every block."""
+
+    fn: Function
+    liveness: LivenessInfo
+    live_at: Dict[Tuple[str, int], Set[Reg]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, fn: Function, liveness: LivenessInfo) -> "_Points":
+        pts = cls(fn, liveness)
+        for b in fn.blocks:
+            n = len(b.instrs)
+            for j in range(n):
+                live = liveness.instr_live_in[b.instrs[j].uid]
+                pts.live_at[(b.name, j)] = {
+                    r for r in live if r.virtual and r.cls == "int"
+                }
+            pts.live_at[(b.name, n)] = {
+                r for r in liveness.live_out[b.name]
+                if r.virtual and r.cls == "int"
+            }
+        return pts
+
+    def phys_pressure(self, block: str, j: int) -> int:
+        b = self.fn.block(block)
+        n = len(b.instrs)
+        if j < n:
+            live = self.liveness.instr_live_in[b.instrs[j].uid]
+        else:
+            live = self.liveness.live_out[block]
+        return sum(1 for r in live if not r.virtual and r.cls == "int")
+
+
+def _forced_points(fn: Function) -> Set[Tuple[Reg, str, int]]:
+    """Points where residence is forced to 1: operand uses, definition
+    results, and parameters at function entry."""
+    forced: Set[Tuple[Reg, str, int]] = set()
+    for b in fn.blocks:
+        for j, instr in enumerate(b.instrs):
+            for r in instr.uses():
+                if r.virtual and r.cls == "int":
+                    forced.add((r, b.name, j))
+            for r in instr.defs():
+                if r.virtual and r.cls == "int":
+                    forced.add((r, b.name, j + 1))
+    entry = fn.entry.name
+    for p in fn.params:
+        if p.virtual and p.cls == "int":
+            forced.add((p, entry, 0))
+    return forced
+
+
+# ----------------------------------------------------------------------
+# exact solution via scipy.optimize.milp
+# ----------------------------------------------------------------------
+
+
+def _solve_ilp(fn: Function, k: int, pts: _Points,
+               freq: Mapping[str, float],
+               forced: Set[Tuple[Reg, str, int]],
+               load_cost: float, store_cost: float,
+               max_ilp_vars: int) -> Optional[ResidencePlan]:
+    try:
+        import numpy as np
+        from scipy import sparse
+        from scipy.optimize import Bounds, LinearConstraint, milp
+    except ImportError:
+        return None
+
+    # variable layout: x vars first (binary), then transition cost vars
+    x_index: Dict[Tuple[Reg, str, int], int] = {}
+    for (block, j), live in sorted(
+            pts.live_at.items(), key=lambda it: (it[0][0], it[0][1])):
+        for v in sorted(live):
+            x_index[(v, block, j)] = len(x_index)
+    n_x = len(x_index)
+    if n_x == 0:
+        return ResidencePlan({}, set(), 0.0, "ilp")
+
+    cost_terms: List[Tuple[int, int, float]] = []  # (x_pre, x_post, weight), load
+    store_terms: List[Tuple[int, int, float]] = []
+    for b in fn.blocks:
+        w = freq.get(b.name, 1.0)
+        for j, instr in enumerate(b.instrs):
+            defs = set(instr.defs())
+            for v in pts.live_at[(b.name, j)]:
+                if v not in pts.live_at[(b.name, j + 1)]:
+                    continue  # value dies: no transition cost
+                if v in defs:
+                    continue  # def transitions are free (writes a register)
+                pre = x_index[(v, b.name, j)]
+                post = x_index[(v, b.name, j + 1)]
+                cost_terms.append((pre, post, w * load_cost))
+                store_terms.append((pre, post, w * store_cost))
+
+    n_l = len(cost_terms)
+    n_s = len(store_terms)
+    n_vars = n_x + n_l + n_s
+    if n_vars > max_ilp_vars:
+        return None
+
+    c = np.zeros(n_vars)
+    for t, (_, _, w) in enumerate(cost_terms):
+        c[n_x + t] = w
+    for t, (_, _, w) in enumerate(store_terms):
+        c[n_x + n_l + t] = w
+
+    rows: List[int] = []
+    cols: List[int] = []
+    vals: List[float] = []
+    lb: List[float] = []
+    ub: List[float] = []
+    row = 0
+
+    def add_entry(r: int, col: int, val: float) -> None:
+        rows.append(r)
+        cols.append(col)
+        vals.append(val)
+
+    # capacity per point
+    for (block, j), live in pts.live_at.items():
+        if not live:
+            continue
+        for v in live:
+            add_entry(row, x_index[(v, block, j)], 1.0)
+        lb.append(-np.inf)
+        ub.append(float(k - pts.phys_pressure(block, j)))
+        row += 1
+
+    # load: x_post - x_pre - l <= 0
+    for t, (pre, post, _) in enumerate(cost_terms):
+        add_entry(row, post, 1.0)
+        add_entry(row, pre, -1.0)
+        add_entry(row, n_x + t, -1.0)
+        lb.append(-np.inf)
+        ub.append(0.0)
+        row += 1
+
+    # store: x_pre - x_post - s <= 0
+    for t, (pre, post, _) in enumerate(store_terms):
+        add_entry(row, pre, 1.0)
+        add_entry(row, post, -1.0)
+        add_entry(row, n_x + n_l + t, -1.0)
+        lb.append(-np.inf)
+        ub.append(0.0)
+        row += 1
+
+    # edge equality: x[v, exit(P)] == x[v, entry(B)]
+    succs, _ = fn.cfg()
+    for p in fn.blocks:
+        np_ = len(p.instrs)
+        for s in succs[p.name]:
+            for v in pts.live_at[(s, 0)]:
+                kp = (v, p.name, np_)
+                ks = (v, s, 0)
+                if kp not in x_index or ks not in x_index:
+                    continue
+                add_entry(row, x_index[kp], 1.0)
+                add_entry(row, x_index[ks], -1.0)
+                lb.append(0.0)
+                ub.append(0.0)
+                row += 1
+
+    var_lb = np.zeros(n_vars)
+    var_ub = np.ones(n_vars)
+    for key in forced:
+        if key in x_index:
+            var_lb[x_index[key]] = 1.0
+
+    integrality = np.zeros(n_vars)
+    integrality[:n_x] = 1
+
+    constraints = LinearConstraint(
+        sparse.csr_matrix(
+            (vals, (rows, cols)), shape=(row, n_vars)
+        ),
+        np.array(lb), np.array(ub),
+    )
+    res = milp(
+        c=c,
+        constraints=constraints,
+        bounds=Bounds(var_lb, var_ub),
+        integrality=integrality,
+        options={"time_limit": 60.0},
+    )
+    if not res.success or res.x is None:
+        return None
+
+    # vectors default to False; True only at live points where the value is
+    # resident.  Dead points read as non-resident so segment walking starts
+    # a fresh segment at every definition after a liveness gap.
+    residence: Dict[Reg, Dict[str, List[bool]]] = {}
+    spilled: Set[Reg] = set()
+    for b in fn.blocks:
+        n = len(b.instrs)
+        for j in range(n + 1):
+            for v in pts.live_at[(b.name, j)]:
+                vec = residence.setdefault(v, {}).setdefault(
+                    b.name, [False] * (n + 1)
+                )
+                resident = res.x[x_index[(v, b.name, j)]] > 0.5
+                vec[j] = resident
+                if not resident:
+                    spilled.add(v)
+    residence = {v: blocks for v, blocks in residence.items() if v in spilled}
+    return ResidencePlan(residence, spilled, float(res.fun), "ilp")
+
+
+# ----------------------------------------------------------------------
+# greedy fallback: spill-everywhere victims until pressure fits
+# ----------------------------------------------------------------------
+
+
+def _solve_greedy(fn: Function, k: int, pts: _Points,
+                  freq: Mapping[str, float],
+                  forced: Set[Tuple[Reg, str, int]]) -> ResidencePlan:
+    forced_by_reg: Dict[Reg, Set[Tuple[str, int]]] = {}
+    for v, b, j in forced:
+        forced_by_reg.setdefault(v, set()).add((b, j))
+
+    spilled: Set[Reg] = set()
+
+    def pressure(block: str, j: int) -> int:
+        live = pts.live_at[(block, j)]
+        count = pts.phys_pressure(block, j)
+        for v in live:
+            if v not in spilled:
+                count += 1
+            elif (block, j) in forced_by_reg.get(v, ()):  # transient reload
+                count += 1
+        return count
+
+    from repro.regalloc.base import spill_cost_estimates
+
+    costs = spill_cost_estimates(fn, freq)
+    while True:
+        worst: Optional[Tuple[str, int]] = None
+        worst_excess = 0
+        for (block, j) in pts.live_at:
+            excess = pressure(block, j) - k
+            if excess > worst_excess:
+                worst_excess = excess
+                worst = (block, j)
+        if worst is None:
+            break
+        candidates = [
+            v for v in pts.live_at[worst]
+            if v not in spilled and worst not in forced_by_reg.get(v, ())
+        ]
+        if not candidates:
+            break  # leave residual pressure for the coloring stage to spill
+        victim = min(candidates, key=lambda v: (costs.get(v, 1.0), v))
+        spilled.add(victim)
+
+    residence: Dict[Reg, Dict[str, List[bool]]] = {}
+    for v in spilled:
+        vecs: Dict[str, List[bool]] = {}
+        for b in fn.blocks:
+            n = len(b.instrs)
+            vec = [False] * (n + 1)
+            for j in range(n + 1):
+                if v in pts.live_at[(b.name, j)]:
+                    vec[j] = (b.name, j) in forced_by_reg.get(v, set())
+            vecs[b.name] = vec
+        residence[v] = vecs
+    plan = ResidencePlan(residence, spilled, 0.0, "greedy")
+    # report the same weighted load/store objective the ILP minimises, so
+    # exact and greedy plans are directly comparable
+    plan.objective = residence_plan_cost(fn, plan, freq)
+    return plan
+
+
+def residence_plan_cost(fn: Function, plan: ResidencePlan,
+                        freq: Optional[Mapping[str, float]] = None,
+                        load_cost: float = 1.0,
+                        store_cost: float = 1.0) -> float:
+    """Weighted loads+stores a residence plan implies — the ILP's objective,
+    evaluated on *any* plan so exact and greedy solutions are comparable.
+
+    Counts memory→register transitions (loads) and register→memory
+    transitions of still-live values (stores) across every instruction,
+    plus the block-entry reloads plans with inconsistent edges need.
+    """
+    if freq is None:
+        freq = estimate_block_frequencies(fn)
+    liveness = compute_liveness(fn)
+    pts = _Points.build(fn, liveness)
+    _, preds = fn.cfg()
+    total = 0.0
+    for b in fn.blocks:
+        w = freq.get(b.name, 1.0)
+        n = len(b.instrs)
+        for j, instr in enumerate(b.instrs):
+            defs = set(instr.defs())
+            for v in pts.live_at[(b.name, j)]:
+                if v not in pts.live_at[(b.name, j + 1)]:
+                    continue
+                pre = plan.is_resident(v, b.name, j)
+                post = plan.is_resident(v, b.name, j + 1)
+                if v in defs:
+                    continue  # def transitions are free
+                if post and not pre:
+                    total += w * load_cost
+                elif pre and not post:
+                    total += w * store_cost
+        # block-entry reloads when some predecessor leaves the value in memory
+        for v in pts.live_at[(b.name, 0)]:
+            if not plan.is_resident(v, b.name, 0) or v not in plan.spilled:
+                continue
+            ps = preds[b.name]
+            if ps and any(
+                not plan.is_resident(v, p, len(fn.block(p).instrs))
+                for p in ps
+            ):
+                total += w * load_cost
+    return total
+
+
+def decide_residence(fn: Function, k: int,
+                     freq: Optional[Mapping[str, float]] = None,
+                     use_ilp: bool = True,
+                     load_cost: float = 1.0,
+                     store_cost: float = 1.0,
+                     max_ilp_vars: int = 60_000) -> ResidencePlan:
+    """Decide, for every live point of every virtual register, whether the
+    value is in a register — the Appel-George step 1."""
+    if freq is None:
+        freq = estimate_block_frequencies(fn)
+    liveness = compute_liveness(fn)
+    pts = _Points.build(fn, liveness)
+    forced = _forced_points(fn)
+    if use_ilp:
+        plan = _solve_ilp(fn, k, pts, freq, forced, load_cost, store_cost,
+                          max_ilp_vars)
+        if plan is not None:
+            return plan
+    return _solve_greedy(fn, k, pts, freq, forced)
+
+
+# ----------------------------------------------------------------------
+# live-range splitting codegen
+# ----------------------------------------------------------------------
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: Dict[object, object] = {}
+
+    def find(self, x: object) -> object:
+        self.parent.setdefault(x, x)
+        while self.parent[x] != x:
+            self.parent[x] = self.parent[self.parent[x]]
+            x = self.parent[x]
+        return x
+
+    def union(self, a: object, b: object) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+def _segment_walk(fn: Function, plan: ResidencePlan, v: Reg):
+    """Yield, per block, the token active at every point of the block.
+
+    Token identities: ``("e", v, block)`` for an entry segment,
+    ``("m", v, block, j)`` for a segment starting after instruction ``j``
+    (reload or defining instruction).  Returns ``{block: [token_or_None per
+    point]}``.
+    """
+    out: Dict[str, List[Optional[tuple]]] = {}
+    for b in fn.blocks:
+        vecs = plan.residence[v].get(b.name)
+        n = len(b.instrs)
+        if vecs is None:
+            out[b.name] = [None] * (n + 1)
+            continue
+        tokens: List[Optional[tuple]] = [None] * (n + 1)
+        current: Optional[tuple] = ("e", v, b.name) if vecs[0] else None
+        tokens[0] = current
+        for j, instr in enumerate(b.instrs):
+            pre, post = vecs[j], vecs[j + 1]
+            if post and not pre:
+                current = ("m", v, b.name, j)
+            elif not post:
+                current = None
+            tokens[j + 1] = current
+        out[b.name] = tokens
+    return out
+
+
+def apply_residence(fn: Function, plan: ResidencePlan,
+                    slots: Optional[SpillSlotAllocator] = None,
+                    next_vreg: Optional[int] = None) -> Tuple[Function, int]:
+    """Split live ranges according to ``plan`` — the Appel-George step 2.
+
+    Every in-register segment of a spilled value gets a fresh virtual
+    register; transitions become ``ldslot`` (memory→register) and, for dirty
+    segments, ``stslot`` (register→memory).  Returns the rewritten function
+    and the next unused vreg id.
+    """
+    slots = slots or SpillSlotAllocator()
+    if next_vreg is None:
+        next_vreg = fn.max_vreg_id() + 1
+    new_fn = fn.copy()
+    if not plan.spilled:
+        return new_fn, next_vreg
+
+    liveness = compute_liveness(new_fn)
+    pts = _Points.build(new_fn, liveness)
+
+    # pass 1: token maps, cross-edge unions, dirty roots
+    succs, preds_map = new_fn.cfg()
+    uf = _UnionFind()
+    token_maps: Dict[Reg, Dict[str, List[Optional[tuple]]]] = {}
+    entry_loads: Dict[str, List[Tuple[Reg, tuple]]] = {}
+    for v in sorted(plan.spilled):
+        token_maps[v] = _segment_walk(new_fn, plan, v)
+        for p in new_fn.blocks:
+            n = len(p.instrs)
+            exit_tok = token_maps[v][p.name][n]
+            if exit_tok is None:
+                continue
+            for s in succs[p.name]:
+                entry_tok = token_maps[v][s][0]
+                if entry_tok is not None:
+                    uf.union(exit_tok, entry_tok)
+        # A block entered with the value nominally in a register, but with
+        # some predecessor leaving it in memory, needs a reload at its head.
+        # ILP plans never hit this (edge-equality constraints); greedy
+        # spill-everywhere plans do, since their forced points are reloads.
+        for b in new_fn.blocks:
+            entry_tok = token_maps[v][b.name][0]
+            if entry_tok is None:
+                continue
+            ps = preds_map[b.name]
+            if ps and any(
+                token_maps[v][p][len(new_fn.block(p).instrs)] is None
+                for p in ps
+            ):
+                entry_loads.setdefault(b.name, []).append((v, entry_tok))
+
+    dirty: Set[object] = set()
+    for v in sorted(plan.spilled):
+        for b in new_fn.blocks:
+            toks = token_maps[v][b.name]
+            for j, instr in enumerate(b.instrs):
+                if v in instr.defs():
+                    tok = toks[j + 1]
+                    if tok is not None:
+                        dirty.add(uf.find(tok))
+    # parameters arrive in registers with no memory copy: their entry
+    # segment is dirty by definition
+    for p in new_fn.params:
+        if p in plan.spilled:
+            tok = token_maps[p][new_fn.entry.name][0]
+            if tok is not None:
+                dirty.add(uf.find(tok))
+
+    seg_regs: Dict[object, Reg] = {}
+    # a spilled parameter's entry segment *is* the parameter register —
+    # the incoming value already lives there
+    for p in new_fn.params:
+        if p in plan.spilled:
+            tok = token_maps[p][new_fn.entry.name][0]
+            if tok is not None:
+                seg_regs[uf.find(tok)] = p
+
+    def reg_of(token: tuple) -> Reg:
+        nonlocal next_vreg
+        root = uf.find(token)
+        if root not in seg_regs:
+            seg_regs[root] = Reg(next_vreg, virtual=True, cls="int")
+            next_vreg += 1
+        return seg_regs[root]
+
+    # pass 2: rewrite
+    for b in new_fn.blocks:
+        new_instrs: List[Instr] = [
+            Instr("ldslot", dst=reg_of(tok), imm=slots.slot_for(v))
+            for v, tok in entry_loads.get(b.name, ())
+        ]
+        n = len(b.instrs)
+        for j, instr in enumerate(b.instrs):
+            mapping: Dict[Reg, Reg] = {}
+            def_override: Optional[Reg] = None
+            post_ops: List[Instr] = []
+            for v in sorted(plan.spilled):
+                toks = token_maps[v][b.name]
+                pre_tok, post_tok = toks[j], toks[j + 1]
+                used = v in instr.uses()
+                defd = v in instr.defs()
+                if used:
+                    if pre_tok is None:
+                        raise RuntimeError(
+                            f"{fn.name}/{b.name}: plan leaves use of {v} "
+                            f"at instr {j} in memory"
+                        )
+                    mapping[v] = reg_of(pre_tok)
+                if defd:
+                    if post_tok is None:
+                        if v in pts.live_at[(b.name, j + 1)]:
+                            raise RuntimeError(
+                                f"{fn.name}/{b.name}: plan leaves def of {v} "
+                                f"at instr {j} in memory"
+                            )
+                        # dead store: the value is never read again, but the
+                        # instruction still writes a register — give it a
+                        # fresh throwaway name (the use operands, if any,
+                        # keep the mapping chosen above)
+                        def_override = Reg(next_vreg, virtual=True, cls="int")
+                        next_vreg += 1
+                    else:
+                        def_override = reg_of(post_tok)
+                # transitions across this instruction
+                if pre_tok is None and post_tok is not None and not defd:
+                    post_ops.append(
+                        Instr("ldslot", dst=reg_of(post_tok),
+                              imm=slots.slot_for(v))
+                    )
+                if pre_tok is not None and post_tok is None:
+                    still_live = v in pts.live_at[(b.name, j + 1)]
+                    if still_live and uf.find(pre_tok) in dirty:
+                        post_ops.append(
+                            Instr("stslot", srcs=(reg_of(pre_tok),),
+                                  imm=slots.slot_for(v))
+                        )
+            rewritten = instr.rewrite(mapping) if mapping else instr
+            if def_override is not None:
+                rewritten = rewritten.copy()
+                rewritten.dst = def_override
+            if j == n - 1 and rewritten.op in ("br", "ret", "beq", "bne",
+                                               "blt", "bge", "bgt", "ble"):
+                new_instrs.extend(post_ops)  # before the terminator
+                new_instrs.append(rewritten)
+            else:
+                new_instrs.append(rewritten)
+                new_instrs.extend(post_ops)
+        b.instrs = new_instrs
+
+    new_fn.validate()
+    return new_fn, next_vreg
+
+
+def optimal_spill_allocate(fn: Function, k: int,
+                           selector: Optional[ColorSelector] = None,
+                           use_ilp: bool = True,
+                           load_cost: float = 1.0,
+                           store_cost: float = 1.0,
+                           freq: Optional[Mapping[str, float]] = None
+                           ) -> AllocationResult:
+    """The full O-spill pipeline: optimal residence → splitting → coloring.
+
+    Coloring uses iterated register coalescing, whose conservative
+    coalescing stands in for Appel-George's aggressive-then-undo loop;
+    :func:`repro.regalloc.diff_coalesce.differential_coalesce_allocate` runs
+    the paper's cost-driven variant instead.
+    """
+    if freq is None:
+        freq = estimate_block_frequencies(fn)
+
+    def attempt(budget: int) -> AllocationResult:
+        plan = decide_residence(fn, budget, freq, use_ilp=use_ilp,
+                                load_cost=load_cost, store_cost=store_cost)
+        split_fn, _ = apply_residence(fn, plan)
+        result = iterated_allocate(split_fn, k, selector=selector,
+                                   freq=dict(freq))
+        result.stats["ospill_objective"] = plan.objective
+        result.stats["ospill_solver"] = 1.0 if plan.solver == "ilp" else 0.0
+        result.stats["ospill_spilled_ranges"] = float(len(plan.spilled))
+        result.stats["ospill_budget"] = float(budget)
+        return result
+
+    def weighted_spill_cost(result: AllocationResult) -> float:
+        f = freq
+        return sum(
+            f.get(block.name, 1.0)
+            for block in result.fn.blocks
+            for instr in block.instrs
+            if instr.op in ("ldslot", "stslot")
+        )
+
+    best = attempt(k)
+    # Residence plans bound MaxLive by k, but k-colorability is not implied
+    # (Appel-George restore it with parallel copies at every block boundary,
+    # which we deliberately avoid).  When the colorer had to add spills, a
+    # plan with one register of slack sometimes colors cleanly; keep
+    # whichever result executes less spill traffic.
+    if best.rounds > 1 and k > 2:
+        retry = attempt(k - 1)
+        if weighted_spill_cost(retry) < weighted_spill_cost(best):
+            best = retry
+    return best

@@ -1,0 +1,173 @@
+"""Differential remapping — approach 1 (paper Section 5).
+
+A post-pass over already-allocated code: permute the physical register
+numbers to minimise the adjacency-graph cost of condition (3).  Permuting
+never changes which live ranges share a register, so any allocator's output
+remains valid; only the *numbers* change, and with differential encoding the
+numbers matter.
+
+Two searches are provided, matching the paper:
+
+* :func:`exhaustive_remap` — all ``RegN!`` permutations,
+  O(RegN^2 * RegN!), "tractable for small RegN".
+* :func:`differential_remap` — the polynomial greedy heuristic of Figure 7:
+  steepest-descent over pairwise swaps of the register vector, restarted from
+  a number of random initial vectors (the paper uses 1000) and keeping the
+  best local minimum.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.analysis.adjacency import build_adjacency
+from repro.analysis.frequency import estimate_block_frequencies
+from repro.ir.function import Function
+from repro.ir.instr import Reg
+
+__all__ = ["RemapResult", "differential_remap", "exhaustive_remap", "apply_permutation"]
+
+
+@dataclass
+class RemapResult:
+    """Outcome of a remapping search."""
+
+    fn: Function
+    permutation: Tuple[int, ...]  # old register number -> new register number
+    cost_before: float
+    cost_after: float
+    restarts: int = 1
+
+    @property
+    def improvement(self) -> float:
+        return self.cost_before - self.cost_after
+
+
+def _edge_list(fn: Function, reg_n: int, order: str,
+               freq: Optional[Mapping[str, float]]) -> List[Tuple[int, int, float]]:
+    graph = build_adjacency(fn, order=order, freq=freq)
+    edges: List[Tuple[int, int, float]] = []
+    for u, v, w in graph.edges():
+        if u.virtual or v.virtual:
+            raise ValueError("remapping requires allocated (physical) code")
+        if u.id < reg_n and v.id < reg_n and u.cls == "int" and v.cls == "int":
+            edges.append((u.id, v.id, w))
+    return edges
+
+
+def _perm_cost(perm: Sequence[int], edges: Sequence[Tuple[int, int, float]],
+               reg_n: int, diff_n: int) -> float:
+    total = 0.0
+    for u, v, w in edges:
+        if (perm[v] - perm[u]) % reg_n >= diff_n:
+            total += w
+    return total
+
+
+def apply_permutation(fn: Function, perm: Sequence[int], reg_n: int) -> Function:
+    """Renumber physical int registers below ``reg_n`` through ``perm``."""
+    mapping: Dict[Reg, Reg] = {}
+    for r in fn.registers():
+        if not r.virtual and r.cls == "int" and r.id < reg_n:
+            mapping[r] = Reg(perm[r.id], virtual=False, cls="int")
+    return fn.rewrite_registers(mapping)
+
+
+def exhaustive_remap(fn: Function, reg_n: int, diff_n: int,
+                     order: str = "src_first",
+                     freq: Optional[Mapping[str, float]] = None,
+                     pinned: Sequence[int] = ()) -> RemapResult:
+    """Try every permutation.  Only sensible for small ``reg_n`` (≤ 8)."""
+    if freq is None:
+        freq = estimate_block_frequencies(fn)
+    edges = _edge_list(fn, reg_n, order, freq)
+    identity = tuple(range(reg_n))
+    base_cost = _perm_cost(identity, edges, reg_n, diff_n)
+    free = [i for i in range(reg_n) if i not in set(pinned)]
+    best_perm, best_cost = identity, base_cost
+    for images in itertools.permutations(free):
+        perm = list(identity)
+        for slot, image in zip(free, images):
+            perm[slot] = image
+        cost = _perm_cost(perm, edges, reg_n, diff_n)
+        if cost < best_cost:
+            best_perm, best_cost = tuple(perm), cost
+            if cost == 0:
+                break
+    return RemapResult(
+        fn=apply_permutation(fn, best_perm, reg_n),
+        permutation=best_perm,
+        cost_before=base_cost,
+        cost_after=best_cost,
+    )
+
+
+def _greedy_descent(perm: List[int], edges: Sequence[Tuple[int, int, float]],
+                    reg_n: int, diff_n: int, free: Sequence[int]) -> float:
+    """Steepest-descent over element swaps (the paper's Figure 7 loop)."""
+    cost = _perm_cost(perm, edges, reg_n, diff_n)
+    while True:
+        best_delta = 0.0
+        best_swap: Optional[Tuple[int, int]] = None
+        for ai in range(len(free)):
+            for bi in range(ai + 1, len(free)):
+                a, b = free[ai], free[bi]
+                perm[a], perm[b] = perm[b], perm[a]
+                new_cost = _perm_cost(perm, edges, reg_n, diff_n)
+                perm[a], perm[b] = perm[b], perm[a]
+                delta = cost - new_cost
+                if delta > best_delta:
+                    best_delta, best_swap = delta, (a, b)
+        if best_swap is None:
+            return cost
+        a, b = best_swap
+        perm[a], perm[b] = perm[b], perm[a]
+        cost -= best_delta
+
+
+def differential_remap(fn: Function, reg_n: int, diff_n: int,
+                       order: str = "src_first",
+                       freq: Optional[Mapping[str, float]] = None,
+                       restarts: int = 100,
+                       seed: int = 0,
+                       pinned: Sequence[int] = ()) -> RemapResult:
+    """Greedy remapping with random restarts (paper Section 5, Figure 7).
+
+    ``pinned`` register numbers keep their identity mapping — used to respect
+    calling conventions without the store-repair of Section 9.3 (parameter
+    and return registers stay put).
+    """
+    if freq is None:
+        freq = estimate_block_frequencies(fn)
+    edges = _edge_list(fn, reg_n, order, freq)
+    pinned_set = set(pinned)
+    free = [i for i in range(reg_n) if i not in pinned_set]
+    identity = list(range(reg_n))
+    base_cost = _perm_cost(identity, edges, reg_n, diff_n)
+
+    rng = random.Random(seed)
+    best_perm = list(identity)
+    best_cost = _greedy_descent(best_perm, edges, reg_n, diff_n, free)
+    used = 1
+    for _ in range(max(0, restarts - 1)):
+        if best_cost == 0:
+            break
+        images = free[:]
+        rng.shuffle(images)
+        perm = list(identity)
+        for slot, image in zip(free, images):
+            perm[slot] = image
+        cost = _greedy_descent(perm, edges, reg_n, diff_n, free)
+        used += 1
+        if cost < best_cost:
+            best_perm, best_cost = perm, cost
+    return RemapResult(
+        fn=apply_permutation(fn, best_perm, reg_n),
+        permutation=tuple(best_perm),
+        cost_before=base_cost,
+        cost_after=best_cost,
+        restarts=used,
+    )

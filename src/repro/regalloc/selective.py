@@ -1,0 +1,102 @@
+"""Selective enabling of differential encoding (paper Section 8.2).
+
+"Differential encoding can be easily turned on and off.  In other words, we
+only need to enable differential encoding when the benefits of performance
+improvements exceed the extra costs due to set_last_reg instructions."
+
+This pass makes that decision per function: it produces both the direct
+baseline (``base_k`` registers) and a differential configuration
+(``reg_n``/``diff_n``), estimates each one's dynamic cost from the block
+frequencies, and keeps the cheaper program.  Turning the decoder mode on
+and off costs two instructions at the function boundary, which the
+differential estimate pays.
+
+The cost model weighs a spill memory operation at ``spill_cost`` times a
+``set_last_reg`` (the paper: repairs are "much cheaper than spills" — a
+spill is a D-cache access plus a load-use bubble, a repair dies at decode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.analysis.frequency import estimate_block_frequencies
+from repro.analysis.pressure import loop_pressure_regions
+from repro.ir.function import Function
+from repro.regalloc.pipeline import AllocatedProgram, run_setup
+
+__all__ = ["SelectiveResult", "run_selective"]
+
+
+@dataclass
+class SelectiveResult:
+    """Outcome of the Section 8.2 decision for one function."""
+
+    program: AllocatedProgram
+    mode: str                   # "direct" or "differential"
+    direct_cost: float          # weighted dynamic cost estimates
+    differential_cost: float
+    toggle_instructions: int
+
+    @property
+    def chose_differential(self) -> bool:
+        return self.mode == "differential"
+
+
+def _weighted_cost(prog: AllocatedProgram, freq: Dict[str, float],
+                   spill_cost: float, setlr_cost: float) -> float:
+    total = 0.0
+    for block in prog.final_fn.blocks:
+        w = freq.get(block.name, 1.0)
+        for instr in block.instrs:
+            if instr.op in ("ldslot", "stslot"):
+                total += w * spill_cost
+            elif instr.op == "setlr":
+                total += w * setlr_cost
+    return total
+
+
+def run_selective(fn: Function, setup: str = "select",
+                  base_k: int = 8, reg_n: int = 12, diff_n: int = 8,
+                  freq: Optional[Dict[str, float]] = None,
+                  spill_cost: float = 3.0, setlr_cost: float = 1.0,
+                  toggle_cost: int = 2,
+                  **setup_kwargs) -> SelectiveResult:
+    """Decide between direct and differential encoding for ``fn``.
+
+    ``setup`` names the differential scheme to consider ("remapping",
+    "select" or "coalesce").  Additional keyword arguments flow into
+    :func:`repro.regalloc.pipeline.run_setup`.
+
+    The decision is worth making exactly when the function has
+    high-pressure regions (see
+    :func:`repro.analysis.pressure.loop_pressure_regions`); functions whose
+    loops fit ``base_k`` registers keep direct encoding for free.
+    """
+    if freq is None:
+        freq = estimate_block_frequencies(fn)
+
+    # cheap early-out: no loop exceeds the direct budget, and neither does
+    # the function body overall -> differential can only add cost
+    regions = loop_pressure_regions(fn)
+    if regions and all(not r.exceeds(base_k) for r in regions):
+        direct = run_setup(fn, "baseline", base_k=base_k, reg_n=reg_n,
+                           diff_n=diff_n, freq=freq, **setup_kwargs)
+        if direct.n_spills == 0:
+            cost = _weighted_cost(direct, freq, spill_cost, setlr_cost)
+            return SelectiveResult(direct, "direct", cost, float("inf"), 0)
+
+    direct = run_setup(fn, "baseline", base_k=base_k, reg_n=reg_n,
+                       diff_n=diff_n, freq=freq, **setup_kwargs)
+    differential = run_setup(fn, setup, base_k=base_k, reg_n=reg_n,
+                             diff_n=diff_n, freq=freq, **setup_kwargs)
+
+    direct_cost = _weighted_cost(direct, freq, spill_cost, setlr_cost)
+    diff_cost = _weighted_cost(differential, freq, spill_cost, setlr_cost)
+    diff_cost += toggle_cost * setlr_cost  # mode switch at the boundary
+
+    if diff_cost < direct_cost:
+        return SelectiveResult(differential, "differential",
+                               direct_cost, diff_cost, toggle_cost)
+    return SelectiveResult(direct, "direct", direct_cost, diff_cost, 0)

@@ -1,0 +1,106 @@
+"""Spill-code insertion.
+
+A spilled virtual register lives in an abstract frame slot.  Every use gets a
+fresh temporary loaded immediately before it (``ldslot``); every def gets a
+fresh temporary stored immediately after it (``stslot``).  The temporaries
+have tiny live ranges, so spilling strictly lowers register pressure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instr import Instr, Reg
+
+__all__ = ["insert_spill_code", "SpillSlotAllocator", "first_free_slot"]
+
+
+def first_free_slot(fn: Function) -> int:
+    """The lowest frame slot not already used by spill code in ``fn``.
+
+    Allocators that run after a pass which already inserted ``ldslot`` /
+    ``stslot`` (e.g. optimal-spill splitting) must start their slot numbering
+    here, or two live values would share a slot.
+    """
+    used = [
+        int(i.imm) for i in fn.instructions() if i.op in ("ldslot", "stslot")
+    ]
+    return max(used) + 1 if used else 0
+
+
+class SpillSlotAllocator:
+    """Hands out frame slot numbers, one per spilled live range."""
+
+    def __init__(self, first_slot: int = 0) -> None:
+        self._next = first_slot
+        self._slots: Dict[Reg, int] = {}
+
+    def slot_for(self, r: Reg) -> int:
+        """The (stable) frame slot of a spilled register."""
+        if r not in self._slots:
+            self._slots[r] = self._next
+            self._next += 1
+        return self._slots[r]
+
+    @property
+    def n_slots(self) -> int:
+        return self._next
+
+
+def insert_spill_code(fn: Function, spilled: Iterable[Reg],
+                      slots: SpillSlotAllocator,
+                      next_vreg: int) -> Tuple[Function, int, Set[Reg]]:
+    """Rewrite ``fn`` so every register in ``spilled`` lives in memory.
+
+    Returns ``(new_fn, next_vreg, new_temps)`` where ``new_temps`` are the
+    short-lived reload/store temporaries created (they must not be chosen for
+    spilling again — their live ranges cannot shrink further).
+    """
+    spill_set = set(spilled)
+    if not spill_set:
+        return fn, next_vreg, set()
+    new_fn = fn.copy()
+    new_temps: Set[Reg] = set()
+
+    for block in new_fn.blocks:
+        new_instrs: List[Instr] = []
+        for instr in block.instrs:
+            mapping: Dict[Reg, Reg] = {}
+            pre: List[Instr] = []
+            post: List[Instr] = []
+            for r in instr.uses():
+                if r in spill_set and r not in mapping:
+                    tmp = Reg(next_vreg, virtual=True, cls=r.cls)
+                    next_vreg += 1
+                    new_temps.add(tmp)
+                    mapping[r] = tmp
+                    pre.append(Instr("ldslot", dst=tmp, imm=slots.slot_for(r)))
+            for r in instr.defs():
+                if r in spill_set:
+                    tmp = mapping.get(r)
+                    if tmp is None:
+                        tmp = Reg(next_vreg, virtual=True, cls=r.cls)
+                        next_vreg += 1
+                        new_temps.add(tmp)
+                        mapping[r] = tmp
+                    post.append(Instr("stslot", srcs=(tmp,), imm=slots.slot_for(r)))
+            new_instrs.extend(pre)
+            new_instrs.append(instr.rewrite(mapping) if mapping else instr)
+            new_instrs.extend(post)
+        block.instrs = new_instrs
+
+    # spilled parameters arrive in registers: store them once on entry.
+    # (Inserted after the rewrite loop so the store itself, which reads the
+    # incoming parameter register, is not rewritten into a reload.)
+    entry_stores = [
+        Instr("stslot", srcs=(p,), imm=slots.slot_for(p))
+        for p in new_fn.params
+        if p in spill_set
+    ]
+    new_fn.entry.instrs[:0] = entry_stores
+
+    # spill code after a terminator is illegal; defs by terminators do not
+    # exist in this ISA (branches only read), so only verify.
+    new_fn.validate()
+    return new_fn, next_vreg, new_temps

@@ -1,0 +1,32 @@
+"""Software pipelining substrate (paper Sections 8.1 and 10.2).
+
+* :mod:`repro.swp.ddg` — loop data-dependence graphs, ResMII/RecMII.
+* :mod:`repro.swp.modulo` — iterative modulo scheduling (Rau-style).
+* :mod:`repro.swp.rotalloc` — kernel register allocation: modulo renaming,
+  MaxLive, spill insertion when pressure exceeds the architected registers,
+  and modulo variable expansion statistics.
+* :mod:`repro.swp.diffswp` — differential remapping over the scheduled
+  kernel: counts the promoted ``set_last_reg`` instructions (Section 8.1).
+"""
+
+from repro.swp.ddg import Dep, LoopDDG, LoopOp
+from repro.swp.modulo import ModuloSchedule, ScheduleError, modulo_schedule
+from repro.swp.rotalloc import KernelAllocation, allocate_kernel
+from repro.swp.diffswp import SwpEncodingReport, encode_kernel
+from repro.swp.codegen import PipelinedLoop, PipelinedOp, generate_pipelined_loop
+
+__all__ = [
+    "PipelinedLoop",
+    "PipelinedOp",
+    "generate_pipelined_loop",
+    "Dep",
+    "LoopDDG",
+    "LoopOp",
+    "ModuloSchedule",
+    "ScheduleError",
+    "modulo_schedule",
+    "KernelAllocation",
+    "allocate_kernel",
+    "SwpEncodingReport",
+    "encode_kernel",
+]

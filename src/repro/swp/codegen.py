@@ -1,0 +1,178 @@
+"""Symbolic code generation for software-pipelined loops.
+
+Turns a :class:`~repro.swp.rotalloc.KernelAllocation` into the actual shape
+of the emitted loop: the *prologue* (pipeline fill — one partial copy of the
+body per overlapped stage), the *kernel* (steady state, unrolled by the
+modulo-variable-expansion factor with rotated register names), and the
+*epilogue* (drain).  The paper's Table 3 code-growth numbers are exactly
+the size of this expansion, and Section 8.1's promoted ``set_last_reg``
+instructions go in front of the whole thing.
+
+The listing is symbolic (no executable semantics — loop bodies come from
+DDGs, not IR), but every structural quantity matches the analytical
+accounting in :class:`~repro.swp.modulo.ModuloSchedule`:
+``len(kernel) == kernel_code_size()`` and
+``len(prologue) + len(epilogue) == (stage_count - 1) * len(ops)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.swp.diffswp import SwpEncodingReport
+from repro.swp.rotalloc import KernelAllocation
+
+__all__ = ["PipelinedOp", "PipelinedLoop", "generate_pipelined_loop"]
+
+
+@dataclass(frozen=True)
+class PipelinedOp:
+    """One emitted operation of the pipelined loop."""
+
+    op_id: int
+    kind: str
+    cycle: int           # issue cycle within its section
+    stage: int           # pipeline stage the op belongs to
+    copy: int            # MVE copy index (kernel ops only)
+    dst: Optional[int]   # destination register, None for stores/branches
+    srcs: Tuple[int, ...]
+
+    def render(self) -> str:
+        """One listing line: cycle, stage, copy, op, registers."""
+        dst = f"r{self.dst}" if self.dst is not None else "-"
+        srcs = ",".join(f"r{s}" for s in self.srcs) or "-"
+        return (f"t={self.cycle:4d} s{self.stage} c{self.copy} "
+                f"op{self.op_id:<4d} {self.kind:<10} {dst:>5} <- {srcs}")
+
+
+@dataclass
+class PipelinedLoop:
+    """The three sections of an emitted software-pipelined loop."""
+
+    prologue: List[PipelinedOp]
+    kernel: List[PipelinedOp]
+    epilogue: List[PipelinedOp]
+    ii: int
+    mve_unroll: int
+    setlr_preamble: int = 0
+
+    @property
+    def total_ops(self) -> int:
+        return (len(self.prologue) + len(self.kernel) + len(self.epilogue)
+                + self.setlr_preamble)
+
+    def render(self) -> str:
+        """The full prologue/kernel/epilogue listing as text."""
+        lines = [f"; II={self.ii}, MVE unroll={self.mve_unroll}, "
+                 f"{self.setlr_preamble} promoted set_last_reg"]
+        for title, section in (("prologue", self.prologue),
+                               ("kernel", self.kernel),
+                               ("epilogue", self.epilogue)):
+            lines.append(f"{title}:")
+            lines.extend("    " + op.render() for op in section)
+        return "\n".join(lines)
+
+
+def _rotated(reg: Optional[int], copy: int, budget: int) -> Optional[int]:
+    """MVE renaming: kernel copy ``k`` shifts register names by ``k``.
+
+    Lam's modulo variable expansion gives each unrolled kernel copy its own
+    register set so values whose lifetimes exceed one II never collide with
+    their own next-iteration incarnations.
+    """
+    if reg is None:
+        return None
+    return (reg + copy) % budget
+
+
+def generate_pipelined_loop(alloc: KernelAllocation,
+                            encoding: Optional[SwpEncodingReport] = None
+                            ) -> PipelinedLoop:
+    """Emit the prologue/kernel/epilogue structure for ``alloc``.
+
+    ``encoding`` (from :func:`repro.swp.diffswp.encode_kernel`) contributes
+    the promoted ``set_last_reg`` preamble and applies its register
+    permutation to the listing.
+    """
+    sched = alloc.schedule
+    ddg = sched.ddg
+    ii = sched.ii
+    stages = sched.stage_count
+    unroll = sched.mve_unroll()
+    budget = max(alloc.reg_n, 1)
+
+    perm = list(encoding.permutation) if encoding else None
+
+    producers_of: Dict[int, List[int]] = {op.id: [] for op in ddg.ops}
+    for d in ddg.deps:
+        if d.is_data:
+            producers_of[d.dst].append(d.src)
+
+    def regs_for(op_id: int, copy: int) -> Tuple[Optional[int], Tuple[int, ...]]:
+        op = ddg.op(op_id)
+        dst = alloc.assignment.get(op_id) if op.produces_value else None
+        srcs = tuple(
+            alloc.assignment[p] for p in sorted(producers_of[op_id])
+            if p in alloc.assignment
+        )
+        dst = _rotated(dst, copy, budget)
+        srcs = tuple(_rotated(s, copy, budget) for s in srcs)
+        if perm is not None:
+            dst = perm[dst] if dst is not None else None
+            srcs = tuple(perm[s] for s in srcs)
+        return dst, srcs
+
+    ordered = sorted(ddg.ops, key=lambda o: (sched.times[o.id], o.id))
+
+    # prologue: stage s of iteration i issues before the kernel reaches
+    # steady state — iterations 0..stages-2 contribute their early stages
+    prologue: List[PipelinedOp] = []
+    for it in range(stages - 1):
+        for op in ordered:
+            stage = sched.times[op.id] // ii
+            if stage <= stages - 2 - it:
+                dst, srcs = regs_for(op.id, it % max(1, unroll))
+                prologue.append(PipelinedOp(
+                    op_id=op.id, kind=op.kind,
+                    cycle=it * ii + sched.times[op.id],
+                    stage=stage, copy=it % max(1, unroll),
+                    dst=dst, srcs=srcs,
+                ))
+
+    # kernel: every op once per MVE copy
+    kernel: List[PipelinedOp] = []
+    for copy in range(unroll):
+        for op in ordered:
+            dst, srcs = regs_for(op.id, copy)
+            kernel.append(PipelinedOp(
+                op_id=op.id, kind=op.kind,
+                cycle=copy * ii + (sched.times[op.id] % ii),
+                stage=sched.times[op.id] // ii, copy=copy,
+                dst=dst, srcs=srcs,
+            ))
+
+    # epilogue mirrors the prologue: late stages of the final iterations
+    epilogue: List[PipelinedOp] = []
+    for it in range(stages - 1):
+        for op in ordered:
+            stage = sched.times[op.id] // ii
+            if stage > stages - 2 - it:
+                dst, srcs = regs_for(op.id, it % max(1, unroll))
+                epilogue.append(PipelinedOp(
+                    op_id=op.id, kind=op.kind,
+                    cycle=it * ii + (sched.times[op.id] % ii),
+                    stage=stage, copy=it % max(1, unroll),
+                    dst=dst, srcs=srcs,
+                ))
+
+    return PipelinedLoop(
+        prologue=prologue,
+        kernel=kernel,
+        epilogue=epilogue,
+        ii=ii,
+        mve_unroll=unroll,
+        setlr_preamble=(encoding.n_setlr + encoding.enable_overhead
+                        if encoding else 0),
+    )

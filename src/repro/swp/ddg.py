@@ -1,0 +1,189 @@
+"""Loop data-dependence graphs for modulo scheduling.
+
+A :class:`LoopDDG` describes one innermost loop iteration: operations with
+latencies and resource kinds, plus dependences annotated with an iteration
+*distance* (0 = same iteration, k = value flows to the k-th later
+iteration).  The two classic lower bounds on the initiation interval are
+computed here:
+
+* **ResMII** — resource-constrained: ops competing for functional units and
+  memory ports.
+* **RecMII** — recurrence-constrained: for every dependence cycle,
+  ``ceil(total latency / total distance)``.  Computed by binary search over
+  II with a Bellman-Ford positive-cycle test on edge weights
+  ``latency - II * distance``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.machine.spec import VLIW, VLIWConfig
+
+__all__ = ["LoopOp", "Dep", "LoopDDG"]
+
+_MEM_KINDS = frozenset({"mem_load", "mem_store"})
+
+
+@dataclass(frozen=True)
+class LoopOp:
+    """One operation of the loop body.
+
+    ``kind`` is one of ``alu``, ``mul``, ``div``, ``mem_load``,
+    ``mem_store``, ``branch``.  ``produces_value`` marks ops whose result is
+    register-allocated (stores and branches produce none).  ``from_spill``
+    tags memory ops introduced by spilling — re-spilling a reload cannot
+    shorten anything, so the allocator never picks them as victims.
+    """
+
+    id: int
+    kind: str = "alu"
+    latency: int = 1
+    from_spill: bool = False
+
+    @property
+    def produces_value(self) -> bool:
+        return self.kind not in ("mem_store", "branch")
+
+    @property
+    def uses_memory_port(self) -> bool:
+        return self.kind in _MEM_KINDS
+
+
+@dataclass(frozen=True)
+class Dep:
+    """Dependence ``src -> dst`` with iteration ``distance``.
+
+    ``is_data`` marks true register dataflow (the consumer reads the
+    producer's value); anti/output/memory ordering dependences set it False
+    and contribute to scheduling but not to register pressure.
+    """
+
+    src: int
+    dst: int
+    distance: int = 0
+    is_data: bool = True
+
+
+class LoopDDG:
+    """An innermost loop's dependence graph."""
+
+    def __init__(self, ops: Sequence[LoopOp], deps: Sequence[Dep],
+                 trip_count: int = 100, name: str = "loop") -> None:
+        self.ops: Tuple[LoopOp, ...] = tuple(ops)
+        self.deps: Tuple[Dep, ...] = tuple(deps)
+        self.trip_count = trip_count
+        self.name = name
+        ids = {op.id for op in self.ops}
+        if len(ids) != len(self.ops):
+            raise ValueError("duplicate op ids")
+        for d in self.deps:
+            if d.src not in ids or d.dst not in ids:
+                raise ValueError(f"dependence {d} references unknown op")
+            if d.distance < 0:
+                raise ValueError("negative dependence distance")
+        self._by_id: Dict[int, LoopOp] = {op.id: op for op in self.ops}
+
+    def op(self, op_id: int) -> LoopOp:
+        """Look up an operation by id."""
+        return self._by_id[op_id]
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    # ------------------------------------------------------------------
+    # II lower bounds
+    # ------------------------------------------------------------------
+
+    def res_mii(self, machine: VLIWConfig = VLIW) -> int:
+        """Resource-constrained lower bound on the II."""
+        n_ops = len(self.ops)
+        n_mem = sum(1 for op in self.ops if op.uses_memory_port)
+        fu_bound = math.ceil(n_ops / machine.n_functional_units)
+        mem_bound = math.ceil(n_mem / machine.n_memory_ports) if n_mem else 0
+        return max(1, fu_bound, mem_bound)
+
+    def _has_positive_cycle(self, ii: int) -> bool:
+        """Bellman-Ford longest-path: is some cycle's latency > II*distance?"""
+        ids = [op.id for op in self.ops]
+        dist = {i: 0.0 for i in ids}
+        edges = [
+            (d.src, d.dst, self._by_id[d.src].latency - ii * d.distance)
+            for d in self.deps
+        ]
+        for it in range(len(ids)):
+            changed = False
+            for u, v, w in edges:
+                if dist[u] + w > dist[v]:
+                    dist[v] = dist[u] + w
+                    changed = True
+            if not changed:
+                return False
+        return True  # still relaxing after |V| passes: positive cycle
+
+    def rec_mii(self, max_ii: int = 512) -> int:
+        """Smallest II with no positive-latency recurrence cycle."""
+        lo, hi = 1, max_ii
+        if self._has_positive_cycle(hi):
+            raise ValueError(f"{self.name}: recurrence unsatisfiable at II={hi}")
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._has_positive_cycle(mid):
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def mii(self, machine: VLIWConfig = VLIW) -> int:
+        """The minimum initiation interval: max(ResMII, RecMII)."""
+        return max(self.res_mii(machine), self.rec_mii())
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+
+    def consumers(self, op_id: int) -> List[Dep]:
+        """Data dependences reading the value ``op_id`` produces."""
+        return [d for d in self.deps if d.src == op_id and d.is_data]
+
+    def with_spilled_value(self, op_id: int, next_id: int,
+                           mem_latency: int = 2,
+                           share_limit: int = 1) -> Tuple["LoopDDG", int]:
+        """Spill the value produced by ``op_id`` (Section 10.2's "carefully
+        spills variables").
+
+        The register-carried dataflow out of ``op_id`` is rerouted through
+        memory: a store after the producer, and loads shared by up to
+        ``share_limit`` consumers at the same dependence distance.  Sharing
+        loads follows the spill-code optimisation of Zalamea et al. [21]
+        (the paper's reference for SWP spill generation), but each shared
+        load's value lives until its *last* consumer — with widely spread
+        consumers that recreates the long lifetime being spilled — so the
+        default reloads per consumer, which keeps spilling monotone on
+        MaxLive.  The loads/stores occupy memory ports, which is exactly
+        how spilling hurts ResMII on this machine.  Returns the new DDG and
+        the next free op id.
+        """
+        store = LoopOp(next_id, "mem_store", mem_latency, from_spill=True)
+        next_id += 1
+        new_ops: List[LoopOp] = list(self.ops) + [store]
+        new_deps: List[Dep] = [
+            d for d in self.deps if not (d.src == op_id and d.is_data)
+        ]
+        new_deps.append(Dep(op_id, store.id, 0, is_data=False))
+        by_distance: Dict[int, List[Dep]] = {}
+        for d in self.consumers(op_id):
+            by_distance.setdefault(d.distance, []).append(d)
+        for distance, consumer_deps in sorted(by_distance.items()):
+            for i in range(0, len(consumer_deps), share_limit):
+                chunk = consumer_deps[i:i + share_limit]
+                load = LoopOp(next_id, "mem_load", mem_latency, from_spill=True)
+                next_id += 1
+                new_ops.append(load)
+                # memory ordering store -> load carries the iteration distance
+                new_deps.append(Dep(store.id, load.id, distance, is_data=False))
+                for d in chunk:
+                    new_deps.append(Dep(load.id, d.dst, 0, is_data=True))
+        return LoopDDG(new_ops, new_deps, self.trip_count, self.name), next_id

@@ -1,0 +1,390 @@
+"""Iterative modulo scheduling (Rau, MICRO 1994 — simplified).
+
+Operations are placed into a flat schedule (op -> start cycle, possibly
+negative relative offsets normalised afterwards) under a modulo resource
+reservation table: at most ``n_functional_units`` ops and
+``n_memory_ports`` memory ops per modulo slot.  Scheduling priority is
+height (longest latency path to any successor chain), and when an op cannot
+be placed within its window, already-placed conflicting ops are evicted
+(the "iterative" part) up to a budget; the II is then increased.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.machine.spec import VLIW, VLIWConfig
+from repro.swp.ddg import Dep, LoopDDG, LoopOp
+
+__all__ = ["ModuloSchedule", "ScheduleError", "modulo_schedule"]
+
+
+class ScheduleError(RuntimeError):
+    """No feasible schedule within the II / budget limits."""
+
+
+@dataclass
+class ModuloSchedule:
+    """A modulo schedule: start times are nonnegative, one per op."""
+
+    ddg: LoopDDG
+    ii: int
+    times: Dict[int, int]
+    machine: VLIWConfig
+
+    @property
+    def length(self) -> int:
+        """Schedule length of one iteration (for prologue/epilogue size)."""
+        return max(
+            self.times[op.id] + op.latency for op in self.ddg.ops
+        ) if self.ddg.ops else 0
+
+    @property
+    def stage_count(self) -> int:
+        """Number of pipeline stages (overlapped iterations)."""
+        return max(1, math.ceil(self.length / self.ii))
+
+    def value_lifetimes(self) -> Dict[int, Tuple[int, int]]:
+        """``op id -> (start, end)`` for every value-producing op.
+
+        A value is born when its producer issues and dies at its last
+        consumer's issue (plus ``II * distance`` for loop-carried uses).
+        Values with no consumer die after their producer's latency.
+        """
+        out: Dict[int, Tuple[int, int]] = {}
+        for op in self.ddg.ops:
+            if not op.produces_value:
+                continue
+            start = self.times[op.id]
+            end = start + op.latency
+            for d in self.ddg.consumers(op.id):
+                end = max(end, self.times[d.dst] + self.ii * d.distance)
+            out[op.id] = (start, end)
+        return out
+
+    def max_live(self) -> int:
+        """MaxLive over the kernel's modulo slots.
+
+        A value spanning more than one II overlaps itself across iterations
+        (which modulo variable expansion must rename), so its interval
+        contributes multiplicity to every slot it covers.
+        """
+        ii = self.ii
+        pressure = [0] * ii
+        for start, end in self.value_lifetimes().values():
+            span = end - start
+            if span <= 0:
+                continue
+            full, rem = divmod(span, ii)
+            for c in range(ii):
+                pressure[c] += full
+            for k in range(rem):
+                pressure[(start + k) % ii] += 1
+        return max(pressure) if pressure else 0
+
+    def mve_unroll(self) -> int:
+        """Modulo-variable-expansion unroll factor: the longest value
+        lifetime in IIs (Lam's compile-time renaming)."""
+        factor = 1
+        for start, end in self.value_lifetimes().values():
+            factor = max(factor, math.ceil((end - start) / self.ii))
+        return factor
+
+    def kernel_code_size(self) -> int:
+        """Static ops in the expanded kernel (body × MVE unroll)."""
+        return len(self.ddg.ops) * self.mve_unroll()
+
+    def execution_cycles(self, trip_count: Optional[int] = None) -> int:
+        """Approximate loop execution time: fill + steady state."""
+        trips = trip_count if trip_count is not None else self.ddg.trip_count
+        return self.length + self.ii * max(0, trips - 1)
+
+
+def _heights(ddg: LoopDDG) -> Dict[int, int]:
+    """Longest zero-distance latency path from each op (priority)."""
+    height = {op.id: op.latency for op in ddg.ops}
+    # relax |V| times over zero-distance edges (they form a DAG, but this
+    # avoids building a topological order)
+    for _ in range(len(ddg.ops)):
+        changed = False
+        for d in ddg.deps:
+            if d.distance != 0:
+                continue
+            cand = ddg.op(d.src).latency + height[d.dst]
+            if cand > height[d.src]:
+                height[d.src] = cand
+                changed = True
+        if not changed:
+            break
+    return height
+
+
+class _ResourceTable:
+    def __init__(self, ii: int, machine: VLIWConfig) -> None:
+        self.ii = ii
+        self.machine = machine
+        self.fu = [0] * ii
+        self.mem = [0] * ii
+        self.placed: Dict[int, Tuple[int, bool]] = {}  # op id -> (slot, is_mem)
+
+    def fits(self, t: int, is_mem: bool) -> bool:
+        s = t % self.ii
+        if self.fu[s] >= self.machine.n_functional_units:
+            return False
+        if is_mem and self.mem[s] >= self.machine.n_memory_ports:
+            return False
+        return True
+
+    def place(self, op_id: int, t: int, is_mem: bool) -> None:
+        s = t % self.ii
+        self.fu[s] += 1
+        if is_mem:
+            self.mem[s] += 1
+        self.placed[op_id] = (s, is_mem)
+
+    def evict(self, op_id: int) -> None:
+        s, is_mem = self.placed.pop(op_id)
+        self.fu[s] -= 1
+        if is_mem:
+            self.mem[s] -= 1
+
+    def conflicting_ops(self, t: int, is_mem: bool) -> List[int]:
+        """Occupants that must leave slot ``t mod II`` before a forced
+        placement.  If the FU limit binds, everything in the slot goes; if
+        only the memory-port limit binds (the incoming op is a memory op),
+        evicting the resident memory ops suffices."""
+        s = t % self.ii
+        occupants = [
+            (op_id, mem) for op_id, (slot, mem) in self.placed.items()
+            if slot == s
+        ]
+        if self.fu[s] >= self.machine.n_functional_units:
+            return [op_id for op_id, _ in occupants]
+        if is_mem and self.mem[s] >= self.machine.n_memory_ports:
+            return [op_id for op_id, mem in occupants if mem]
+        return []
+
+
+def modulo_schedule(ddg: LoopDDG, machine: VLIWConfig = VLIW,
+                    max_ii: Optional[int] = None,
+                    budget_factor: int = 8,
+                    min_ii: Optional[int] = None) -> ModuloSchedule:
+    """Schedule ``ddg``, starting at MII and increasing II until feasible.
+
+    ``min_ii`` forces a larger starting II — the register allocator uses it
+    to trade issue rate for pressure when spilling alone cannot fit the
+    kernel (Section 10.2 discusses exactly this alternative).
+    """
+    if not ddg.ops:
+        raise ScheduleError(f"{ddg.name}: empty loop")
+    mii = ddg.mii(machine)
+    if min_ii is not None:
+        mii = max(mii, min_ii)
+    top = max_ii if max_ii is not None else max(mii * 4, mii + 32)
+    height = _heights(ddg)
+    order = sorted(ddg.ops, key=lambda op: (-height[op.id], op.id))
+
+    preds: Dict[int, List[Dep]] = {op.id: [] for op in ddg.ops}
+    for d in ddg.deps:
+        preds[d.dst].append(d)
+
+    # quality gate: near 100% utilisation the evicting scheduler can emit
+    # technically valid but sprawled schedules (inverted modulo slots force
+    # chains to cost a full II per link), whose inflated lifetimes would
+    # corrupt MaxLive.  Such schedules are rejected and the II increased —
+    # a slightly larger II schedules cleanly.
+    height_cap = 2 * max(height.values())
+    fallback: Optional[ModuloSchedule] = None
+    for ii in range(mii, top + 1):
+        times = _try_schedule(ddg, machine, ii, order, preds,
+                              budget_factor * len(ddg.ops))
+        if times is None:
+            continue
+        times = _retime(ddg, ii, times)
+        schedule = ModuloSchedule(ddg, ii, times, machine)
+        _alap_spread(schedule)
+        _compact_loads(schedule)
+        if schedule.length <= max(2 * ii, height_cap):
+            return schedule
+        if fallback is None or schedule.length < fallback.length:
+            fallback = schedule
+    if fallback is not None:
+        return fallback
+    raise ScheduleError(f"{ddg.name}: no schedule with II <= {top}")
+
+
+def _retime(ddg: LoopDDG, ii: int, times: Dict[int, int]) -> Dict[int, int]:
+    """Compact a schedule without changing any op's modulo slot.
+
+    The iterative scheduler's evictions ratchet start times forward, which
+    sprawls the flat schedule (long prologue, huge lifetimes) even though
+    the modulo reservation table is tight.  Since resources depend only on
+    ``time mod II``, we recompute the smallest start times congruent to the
+    chosen slots that satisfy every dependence — a longest-path relaxation
+    that terminates because II ≥ RecMII rules out positive cycles.
+    """
+    slots = {op_id: t % ii for op_id, t in times.items()}
+    t = dict(slots)
+    n = len(ddg.ops)
+    for _ in range(n + 1):
+        changed = False
+        for d in ddg.deps:
+            need = t[d.src] + ddg.op(d.src).latency - ii * d.distance
+            if t[d.dst] < need:
+                # bump to the smallest congruent time >= need
+                delta = (need - t[d.dst] + ii - 1) // ii
+                t[d.dst] += delta * ii
+                changed = True
+        if not changed:
+            break
+    else:
+        return times  # should not happen; keep the valid original
+    lo = min(t.values())
+    shift = (lo // ii) * ii  # keep congruence while normalising near zero
+    return {k: v - shift for k, v in t.items()}
+
+
+def _alap_spread(schedule: ModuloSchedule) -> None:
+    """Slide every non-sink op as late as its consumers allow.
+
+    The iterative scheduler is ASAP-biased: it packs the whole body into
+    the earliest slots, saturating memory ports there even when the II
+    leaves most of the reservation table empty.  That congestion blocks
+    the load compaction that keeps spill reloads (and thus MaxLive) short.
+    Spreading ops toward their consumers decongests the active region.
+    Sink ops (no outgoing dependences) stay put and anchor the schedule.
+    """
+    ddg, ii, times = schedule.ddg, schedule.ii, schedule.times
+    machine = schedule.machine
+    mem_use = [0] * ii
+    fu_use = [0] * ii
+    for op in ddg.ops:
+        fu_use[times[op.id] % ii] += 1
+        if op.uses_memory_port:
+            mem_use[times[op.id] % ii] += 1
+    out_deps: Dict[int, List[Dep]] = {op.id: [] for op in ddg.ops}
+    for d in ddg.deps:
+        if d.src != d.dst:
+            out_deps[d.src].append(d)
+    for op in sorted(ddg.ops, key=lambda o: -times[o.id]):
+        deps = out_deps[op.id]
+        if not deps:
+            continue
+        upper = min(
+            times[d.dst] + ii * d.distance - op.latency for d in deps
+        )
+        cur = times[op.id]
+        if upper <= cur:
+            continue
+        old_slot = cur % ii
+        is_mem = op.uses_memory_port
+        for t in range(upper, cur, -1):
+            slot = t % ii
+            if slot == old_slot or (
+                    fu_use[slot] < machine.n_functional_units
+                    and (not is_mem
+                         or mem_use[slot] < machine.n_memory_ports)):
+                fu_use[old_slot] -= 1
+                fu_use[slot] += 1
+                if is_mem:
+                    mem_use[old_slot] -= 1
+                    mem_use[slot] += 1
+                times[op.id] = t
+                break
+
+
+def _compact_loads(schedule: ModuloSchedule) -> None:
+    """Move loads as late as their consumers allow (pressure compaction).
+
+    A ``mem_load`` has no register inputs, so delaying it can only shorten
+    its value's lifetime — the dominant term in post-spill MaxLive.  The
+    move must respect each consumer's issue time, any dependence *out of*
+    the load, incoming memory-ordering edges are ≥-constraints that later
+    placement can only keep satisfied, and the memory-port reservation of
+    the target modulo slot.
+    """
+    ddg, ii, times = schedule.ddg, schedule.ii, schedule.times
+    machine = schedule.machine
+    mem_use = [0] * ii
+    fu_use = [0] * ii
+    for op in ddg.ops:
+        fu_use[times[op.id] % ii] += 1
+        if op.uses_memory_port:
+            mem_use[times[op.id] % ii] += 1
+    out_deps: Dict[int, List[Dep]] = {op.id: [] for op in ddg.ops}
+    for d in ddg.deps:
+        out_deps[d.src].append(d)
+    for op in sorted(ddg.ops, key=lambda o: -times[o.id]):
+        if op.kind != "mem_load":
+            continue
+        upper: Optional[int] = None
+        for d in out_deps[op.id]:
+            bound = times[d.dst] + ii * d.distance - op.latency
+            upper = bound if upper is None else min(upper, bound)
+        if upper is None or upper <= times[op.id]:
+            continue
+        old_slot = times[op.id] % ii
+        for t in range(upper, times[op.id], -1):
+            slot = t % ii
+            if slot == old_slot or (
+                    mem_use[slot] < machine.n_memory_ports
+                    and fu_use[slot] < machine.n_functional_units):
+                mem_use[old_slot] -= 1
+                mem_use[slot] += 1
+                fu_use[old_slot] -= 1
+                fu_use[slot] += 1
+                times[op.id] = t
+                break
+
+
+def _try_schedule(ddg: LoopDDG, machine: VLIWConfig, ii: int,
+                  order: List[LoopOp], preds: Dict[int, List[Dep]],
+                  budget: int) -> Optional[Dict[int, int]]:
+    table = _ResourceTable(ii, machine)
+    times: Dict[int, int] = {}
+    worklist: List[LoopOp] = list(order)
+    tries = 0
+    last_attempt: Dict[int, int] = {}
+
+    while worklist:
+        tries += 1
+        if tries > budget + len(order):
+            return None
+        op = worklist.pop(0)
+        # earliest start from scheduled predecessors
+        est = 0
+        for d in preds[op.id]:
+            if d.src in times:
+                est = max(est, times[d.src] + ddg.op(d.src).latency
+                          - ii * d.distance)
+        start = max(est, last_attempt.get(op.id, -1) + 1)
+        slot: Optional[int] = None
+        for t in range(start, start + ii):
+            if table.fits(t, op.uses_memory_port):
+                slot = t
+                break
+        if slot is None:
+            slot = start  # force placement; evict the conflicts
+            for victim in table.conflicting_ops(slot, op.uses_memory_port):
+                table.evict(victim)
+                del times[victim]
+                worklist.append(ddg.op(victim))
+        # evict already-placed successors violating their dependence
+        for d in ddg.deps:
+            if d.src == op.id and d.dst in times and d.dst != op.id:
+                if times[d.dst] < slot + op.latency - ii * d.distance:
+                    if d.dst in table.placed:
+                        table.evict(d.dst)
+                    del times[d.dst]
+                    worklist.append(ddg.op(d.dst))
+        table.place(op.id, slot, op.uses_memory_port)
+        times[op.id] = slot
+        last_attempt[op.id] = slot
+
+    # final sanity: every dependence satisfied
+    for d in ddg.deps:
+        if times[d.dst] + ii * d.distance < times[d.src] + ddg.op(d.src).latency:
+            return None
+    return times

@@ -1,0 +1,178 @@
+"""Hand-written classic loop kernels as DDGs.
+
+The synthetic population (:mod:`repro.workloads.spec_loops`) covers the
+statistics; these named kernels cover the *shapes* compiler textbooks
+reason about — reductions, streaming filters, stencils — with known
+structure: which bound (ResMII vs RecMII) binds, and how register pressure
+behaves.  Useful for demos, documentation and targeted tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.swp.ddg import Dep, LoopDDG, LoopOp
+
+__all__ = ["CLASSIC_LOOPS", "get_classic_loop"]
+
+
+def dot_product() -> LoopDDG:
+    """``acc += a[i] * b[i]`` — two streaming loads into a MAC recurrence.
+
+    The accumulator's distance-1 self-dependence bounds RecMII by the
+    add latency; memory ports bound ResMII.
+    """
+    ops = [
+        LoopOp(0, "mem_load", 2),   # a[i]
+        LoopOp(1, "mem_load", 2),   # b[i]
+        LoopOp(2, "mul", 3),        # a[i] * b[i]
+        LoopOp(3, "alu", 1),        # acc +=
+        LoopOp(4, "alu", 1),        # i++
+    ]
+    deps = [
+        Dep(0, 2), Dep(1, 2), Dep(2, 3),
+        Dep(3, 3, distance=1),      # accumulator recurrence
+        Dep(4, 4, distance=1),      # induction recurrence
+        Dep(4, 0, distance=1), Dep(4, 1, distance=1),
+    ]
+    return LoopDDG(ops, deps, trip_count=256, name="dot_product")
+
+
+def daxpy() -> LoopDDG:
+    """``y[i] = a * x[i] + y[i]`` — stream in, stream out, no recurrence
+    except induction: ResMII-bound on the memory ports."""
+    ops = [
+        LoopOp(0, "mem_load", 2),   # x[i]
+        LoopOp(1, "mem_load", 2),   # y[i]
+        LoopOp(2, "mul", 3),        # a * x[i]
+        LoopOp(3, "alu", 1),        # + y[i]
+        LoopOp(4, "mem_store", 2),  # y[i] =
+        LoopOp(5, "alu", 1),        # i++
+    ]
+    deps = [
+        Dep(0, 2), Dep(2, 3), Dep(1, 3), Dep(3, 4, is_data=True),
+        Dep(5, 5, distance=1),
+        Dep(5, 0, distance=1), Dep(5, 1, distance=1),
+        Dep(1, 4, is_data=False),   # store after the load it replaces
+    ]
+    return LoopDDG(ops, deps, trip_count=512, name="daxpy")
+
+
+def fir_filter(taps: int = 8) -> LoopDDG:
+    """``y[i] = sum_k c[k] * x[i-k]`` with the window kept in registers.
+
+    The shifted window gives ``taps`` distance-1 dependences — the classic
+    high-pressure software-pipelining example: MaxLive grows with the tap
+    count while the II stays resource-bound.
+    """
+    ops: List[LoopOp] = [LoopOp(0, "mem_load", 2)]       # x[i]
+    deps: List[Dep] = []
+    win = [0]
+    next_id = 1
+    for k in range(1, taps):
+        ops.append(LoopOp(next_id, "alu", 1))            # window shift copy
+        deps.append(Dep(win[-1], next_id, distance=1, is_data=True))
+        win.append(next_id)
+        next_id += 1
+    prev_sum = None
+    for k in range(taps):
+        mul = next_id
+        ops.append(LoopOp(mul, "mul", 3))
+        deps.append(Dep(win[k], mul, is_data=True))
+        next_id += 1
+        if prev_sum is None:
+            prev_sum = mul
+        else:
+            add = next_id
+            ops.append(LoopOp(add, "alu", 1))
+            deps.append(Dep(prev_sum, add, is_data=True))
+            deps.append(Dep(mul, add, is_data=True))
+            prev_sum = add
+            next_id += 1
+    store = next_id
+    ops.append(LoopOp(store, "mem_store", 2))
+    deps.append(Dep(prev_sum, store, is_data=True))
+    return LoopDDG(ops, deps, trip_count=256, name=f"fir{taps}")
+
+
+def stencil3() -> LoopDDG:
+    """``out[i] = (in[i-1] + 2*in[i] + in[i+1]) / 4`` with the neighbour
+    values carried across iterations instead of reloaded."""
+    ops = [
+        LoopOp(0, "mem_load", 2),   # in[i+1]
+        LoopOp(1, "alu", 1),        # keep as next centre (shift)
+        LoopOp(2, "alu", 1),        # keep as next left (shift)
+        LoopOp(3, "alu", 1),        # centre * 2
+        LoopOp(4, "alu", 1),        # left + right
+        LoopOp(5, "alu", 1),        # sum
+        LoopOp(6, "alu", 1),        # >> 2
+        LoopOp(7, "mem_store", 2),  # out[i]
+        LoopOp(8, "alu", 1),        # i++
+    ]
+    deps = [
+        Dep(0, 1), Dep(1, 2, distance=1),
+        Dep(1, 3, distance=1),      # centre came from last iteration's load
+        Dep(2, 4, distance=1),      # left from two iterations back
+        Dep(0, 4),                  # right is this iteration's load
+        Dep(3, 5), Dep(4, 5), Dep(5, 6), Dep(6, 7, is_data=True),
+        Dep(8, 8, distance=1), Dep(8, 0, distance=1),
+    ]
+    return LoopDDG(ops, deps, trip_count=512, name="stencil3")
+
+
+def recurrence_chain(latency: int = 4) -> LoopDDG:
+    """A tight loop-carried chain — RecMII-bound by construction: the II
+    cannot drop below the chain latency no matter the resources."""
+    ops = [
+        LoopOp(0, "mul", latency),
+        LoopOp(1, "alu", 1),
+        LoopOp(2, "alu", 1),
+    ]
+    deps = [
+        Dep(0, 1), Dep(1, 0, distance=1),   # cycle: latency + 1 over dist 1
+        Dep(2, 2, distance=1),
+    ]
+    return LoopDDG(ops, deps, trip_count=128, name=f"recur{latency}")
+
+
+def reduction_tree(width: int = 8) -> LoopDDG:
+    """``acc += a[0..w-1]`` per iteration, summed as a balanced tree —
+    wide instruction-level parallelism, FU-bound ResMII."""
+    ops: List[LoopOp] = []
+    deps: List[Dep] = []
+    level = []
+    next_id = 0
+    for _ in range(width):
+        ops.append(LoopOp(next_id, "mem_load", 2))
+        level.append(next_id)
+        next_id += 1
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            ops.append(LoopOp(next_id, "alu", 1))
+            deps.append(Dep(level[i], next_id, is_data=True))
+            deps.append(Dep(level[i + 1], next_id, is_data=True))
+            nxt.append(next_id)
+            next_id += 1
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    acc = next_id
+    ops.append(LoopOp(acc, "alu", 1))
+    deps.append(Dep(level[0], acc, is_data=True))
+    deps.append(Dep(acc, acc, distance=1, is_data=True))
+    return LoopDDG(ops, deps, trip_count=128, name=f"reduce{width}")
+
+
+CLASSIC_LOOPS: Dict[str, LoopDDG] = {
+    loop.name: loop
+    for loop in (
+        dot_product(), daxpy(), fir_filter(8), fir_filter(16),
+        stencil3(), recurrence_chain(4), reduction_tree(8),
+    )
+}
+
+
+def get_classic_loop(name: str) -> LoopDDG:
+    """Look up a classic loop by name (KeyError if unknown)."""
+    return CLASSIC_LOOPS[name]

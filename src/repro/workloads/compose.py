@@ -1,0 +1,105 @@
+"""Compose several functions into one whole-program workload.
+
+The paper evaluates whole MiBench *programs*, not isolated kernels.  Program
+scale matters to the comparison between the three differential schemes:
+differential remapping applies one global register permutation, which cannot
+satisfy many distinct hot regions at once (Section 6: the register-level
+adjacency graph becomes "very dense ... and restrictive"), while
+differential select tunes each live range.  Composing a kernel with
+auxiliary phases reproduces that program-scale tension.
+
+``concat_functions`` renames virtual registers and blocks apart, threads the
+single integer parameter into every part, and combines the parts' return
+values into one checksum.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instr import Instr, Reg
+
+__all__ = ["concat_functions"]
+
+
+def _offset_reg(r: Reg, offset: int) -> Reg:
+    if not r.virtual:
+        return r
+    return Reg(r.id + offset, virtual=True, cls=r.cls)
+
+
+def concat_functions(name: str, parts: Sequence[Function]) -> Function:
+    """Concatenate ``parts`` into one function.
+
+    Every part must take exactly one (virtual) integer parameter and end
+    each exit path with ``ret``.  The composite takes one parameter, feeds
+    it to every part in order, and returns a mixed checksum of the parts'
+    return values.
+    """
+    if not parts:
+        raise ValueError("need at least one part")
+    for fn in parts:
+        if len(fn.params) != 1 or not fn.params[0].virtual:
+            raise ValueError(
+                f"{fn.name}: composite parts take exactly one virtual "
+                "register parameter"
+            )
+
+    shared_param = Reg(0, virtual=True)
+    acc = Reg(1, virtual=True)
+    next_vreg = 2
+    blocks: List[BasicBlock] = []
+
+    header = BasicBlock("entry")
+    header.append(Instr("li", dst=acc, imm=0))
+    blocks.append(header)
+
+    for pi, fn in enumerate(parts):
+        offset = next_vreg
+        max_v = fn.max_vreg_id()
+        next_vreg = offset + max_v + 1
+        prefix = f"p{pi}_"
+        local_param = _offset_reg(fn.params[0], offset)
+        entry_name = prefix + fn.entry.name
+        # bridge: bind the part's parameter, jump into its entry
+        bridge = BasicBlock(f"p{pi}_bind")
+        bridge.append(Instr("mov", dst=local_param, srcs=(shared_param,)))
+        blocks.append(bridge)
+
+        exit_name = f"p{pi}_done"
+        result = Reg(next_vreg, virtual=True)
+        next_vreg += 1
+
+        for b in fn.blocks:
+            nb = BasicBlock(prefix + b.name)
+            for instr in b.instrs:
+                mapping = {
+                    r: _offset_reg(r, offset)
+                    for r in set(instr.uses()) | set(instr.defs())
+                }
+                ni = instr.rewrite(mapping)
+                if ni.label is not None and ni.op != "call":
+                    ni = ni.copy()
+                    ni.label = prefix + ni.label
+                if ni.op == "ret":
+                    nb.append(Instr("mov", dst=result, srcs=(ni.srcs[0],)))
+                    nb.append(Instr("br", label=exit_name))
+                else:
+                    nb.append(ni)
+            blocks.append(nb)
+
+        closer = BasicBlock(exit_name)
+        mixed = Reg(next_vreg, virtual=True)
+        next_vreg += 1
+        closer.append(Instr("muli", dst=mixed, srcs=(acc,), imm=31))
+        closer.append(Instr("xor", dst=acc, srcs=(mixed, result)))
+        blocks.append(closer)
+
+    tail = BasicBlock("collect")
+    tail.append(Instr("ret", srcs=(acc,)))
+    blocks.append(tail)
+
+    out = Function(name, blocks, params=(shared_param,))
+    out.validate()
+    return out

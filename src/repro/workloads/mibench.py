@@ -1,0 +1,1012 @@
+"""Ten executable IR kernels modelled on the MiBench suite.
+
+The paper evaluates 10 MiBench programs (Section 10.1).  We cannot compile
+C, so each kernel is a hand-written IR transcription of the corresponding
+program's hot loop, self-contained (inputs are generated in-IR with an LCG)
+and returning a checksum so semantic preservation can be asserted across
+every allocation/encoding setup.
+
+The kernels are written the way an optimising compiler leaves them:
+loop-invariant constants (polynomials, masks, base addresses, bounds, LCG
+multipliers) are hoisted into registers outside the loops.  That is what
+creates the register pressure the paper measures — a THUMB-class 8-register
+ISA cannot keep a CRC polynomial, two masks, three addresses and the
+induction variables resident at once, so the baseline spills; with 12
+differentially addressable registers most of those spills disappear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.ir.builder import FunctionBuilder
+from repro.ir.function import Function
+from repro.ir.instr import Instr, Reg
+
+__all__ = ["Workload", "MIBENCH", "get_workload"]
+
+_LCG_A = 1103515245
+_LCG_C = 12345
+_LCG_MASK = 0x7FFFFFFF
+
+
+class _Consts:
+    """Loop-invariant constants materialised once in the entry block."""
+
+    def __init__(self, fb: FunctionBuilder) -> None:
+        self.fb = fb
+        self._regs: dict = {}
+
+    def get(self, value: int) -> Reg:
+        if value not in self._regs:
+            r = self.fb.vreg()
+            self.fb.li(r, value)
+            self._regs[value] = r
+        return self._regs[value]
+
+
+def _lcg_step(fb: FunctionBuilder, c: _Consts, seed: Reg, tmp: Reg) -> None:
+    """seed = (seed * A + C) & MASK, with hoisted constants."""
+    fb.mul(tmp, seed, c.get(_LCG_A))
+    fb.add(tmp, tmp, c.get(_LCG_C))
+    fb.emit(Instr("and", dst=seed, srcs=(tmp, c.get(_LCG_MASK))))
+
+
+def _fill_array(fb: FunctionBuilder, c: _Consts, label: str, base_addr: int,
+                count: Reg, seed_init: int, mask: int = 0xFF) -> None:
+    """Emit a loop writing ``count`` pseudo-random values to ``base_addr``."""
+    seed, tmp, idx, addr, val = fb.vregs(5)
+    fb.li(seed, seed_init)
+    fb.li(idx, 0)
+    fb.li(addr, base_addr)
+    fb.block(f"{label}_fill")
+    _lcg_step(fb, c, seed, tmp)
+    fb.emit(Instr("and", dst=val, srcs=(seed, c.get(mask))))
+    fb.st(val, addr, 0)
+    fb.addi(addr, addr, 1)
+    fb.addi(idx, idx, 1)
+    fb.blt(idx, count, f"{label}_fill")
+    fb.block(f"{label}_done")
+
+
+# ----------------------------------------------------------------------
+# kernels
+# ----------------------------------------------------------------------
+
+
+def build_bitcount() -> Function:
+    """Kernighan bit counting over an LCG stream (MiBench *bitcount*)."""
+    fb = FunctionBuilder("bitcount")
+    n = fb.vreg()
+    fb.params = (n,)
+    fb.block("entry")
+    c = _Consts(fb)
+    one, zero = c.get(1), c.get(0)
+    seed, tmp, acc, i = fb.vregs(4)
+    fb.li(seed, 12345)
+    fb.li(acc, 0)
+    fb.li(i, 0)
+    fb.block("outer")
+    _lcg_step(fb, c, seed, tmp)
+    x, bit = fb.vregs(2)
+    fb.mov(x, seed)
+    fb.block("inner")
+    fb.emit(Instr("and", dst=bit, srcs=(x, one)))
+    fb.add(acc, acc, bit)
+    fb.shri(x, x, 1)
+    fb.bgt(x, zero, "inner")
+    fb.block("next")
+    fb.add(i, i, one)
+    fb.blt(i, n, "outer")
+    fb.block("exit")
+    fb.ret(acc)
+    return fb.build()
+
+
+def build_crc32() -> Function:
+    """Bitwise CRC-32 over LCG bytes (MiBench *crc32*)."""
+    fb = FunctionBuilder("crc32")
+    n = fb.vreg()
+    fb.params = (n,)
+    fb.block("entry")
+    c = _Consts(fb)
+    poly = c.get(0x04C11DB7)
+    byte_mask = c.get(0xFF)
+    one, zero, eight = c.get(1), c.get(0), c.get(8)
+    crc, seed, tmp, i, byte = fb.vregs(5)
+    fb.li(crc, -1)
+    fb.li(seed, 99)
+    fb.li(i, 0)
+    fb.block("outer")
+    _lcg_step(fb, c, seed, tmp)
+    fb.emit(Instr("and", dst=byte, srcs=(seed, byte_mask)))
+    fb.xor(crc, crc, byte)
+    j, lsb = fb.vregs(2)
+    fb.li(j, 0)
+    fb.block("bits")
+    fb.emit(Instr("and", dst=lsb, srcs=(crc, one)))
+    fb.shri(crc, crc, 1)
+    fb.beq(lsb, zero, "no_poly")
+    fb.block("do_poly")
+    fb.xor(crc, crc, poly)
+    fb.block("no_poly")
+    fb.add(j, j, one)
+    fb.blt(j, eight, "bits")
+    fb.block("next")
+    fb.add(i, i, one)
+    fb.blt(i, n, "outer")
+    fb.block("exit")
+    fb.ret(crc)
+    return fb.build()
+
+
+def build_qsort() -> Function:
+    """In-place bubble sort + checksum (stands in for MiBench *qsort*'s
+    comparison-and-swap traffic)."""
+    fb = FunctionBuilder("qsort")
+    n = fb.vreg()
+    fb.params = (n,)
+    fb.block("entry")
+    c = _Consts(fb)
+    base = c.get(0x1000)
+    one = c.get(1)
+    mul31 = c.get(31)
+    _fill_array(fb, c, "arr", 0x1000, n, 7)
+    i, j, limit = fb.vregs(3)
+    fb.li(i, 0)
+    fb.block("outer")
+    fb.li(j, 0)
+    fb.sub(limit, n, i)
+    fb.sub(limit, limit, one)
+    fb.bge(j, limit, "outer_next")
+    fb.block("inner")
+    a, b, addr = fb.vregs(3)
+    fb.add(addr, base, j)
+    fb.ld(a, addr, 0)
+    fb.ld(b, addr, 1)
+    fb.ble(a, b, "no_swap")
+    fb.block("swap")
+    fb.st(b, addr, 0)
+    fb.st(a, addr, 1)
+    fb.block("no_swap")
+    fb.add(j, j, one)
+    fb.blt(j, limit, "inner")
+    fb.block("outer_next")
+    fb.add(i, i, one)
+    fb.blt(i, n, "outer")
+    fb.block("checksum")
+    acc, k, addr2, v, w = fb.vregs(5)
+    fb.li(acc, 0)
+    fb.li(k, 0)
+    fb.mov(addr2, base)
+    fb.block("sum")
+    fb.ld(v, addr2, 0)
+    fb.mul(w, acc, mul31)
+    fb.add(acc, w, v)
+    fb.add(addr2, addr2, one)
+    fb.add(k, k, one)
+    fb.blt(k, n, "sum")
+    fb.block("exit")
+    fb.ret(acc)
+    return fb.build()
+
+
+def build_dijkstra() -> Function:
+    """All-pairs relaxation over an LCG weight matrix (MiBench *dijkstra*)."""
+    fb = FunctionBuilder("dijkstra")
+    n = fb.vreg()
+    fb.params = (n,)
+    fb.block("entry")
+    c = _Consts(fb)
+    wbase = c.get(0x2000)
+    dbase = c.get(0x3000)
+    one = c.get(1)
+    three = c.get(3)
+    nn, big = fb.vregs(2)
+    fb.mul(nn, n, n)
+    _fill_array(fb, c, "w", 0x2000, nn, 3, 0x3F)
+    di, daddr = fb.vregs(2)
+    fb.li(big, 1 << 20)
+    fb.li(di, 0)
+    fb.mov(daddr, dbase)
+    fb.block("dist_init")
+    fb.st(big, daddr, 0)
+    fb.add(daddr, daddr, one)
+    fb.add(di, di, one)
+    fb.blt(di, n, "dist_init")
+    fb.block("dist_src")
+    d0 = fb.vreg()
+    fb.li(d0, 0)
+    fb.st(d0, dbase, 0)
+    rounds = fb.vreg()
+    fb.li(rounds, 0)
+    fb.block("round")
+    u, v = fb.vregs(2)
+    fb.li(u, 0)
+    fb.block("u_loop")
+    fb.li(v, 0)
+    fb.block("v_loop")
+    du, dv, wuv, cand, ua, va, wa, row = fb.vregs(8)
+    fb.add(ua, dbase, u)
+    fb.ld(du, ua, 0)
+    fb.add(va, dbase, v)
+    fb.ld(dv, va, 0)
+    fb.mul(row, u, n)
+    fb.add(wa, wbase, row)
+    fb.add(wa, wa, v)
+    fb.ld(wuv, wa, 0)
+    fb.add(cand, du, wuv)
+    fb.bge(cand, dv, "no_relax")
+    fb.block("relax")
+    fb.st(cand, va, 0)
+    fb.block("no_relax")
+    fb.add(v, v, one)
+    fb.blt(v, n, "v_loop")
+    fb.block("u_next")
+    fb.add(u, u, one)
+    fb.blt(u, n, "u_loop")
+    fb.block("round_next")
+    fb.add(rounds, rounds, one)
+    fb.blt(rounds, three, "round")
+    fb.block("checksum")
+    acc, k, addr, val = fb.vregs(4)
+    fb.li(acc, 0)
+    fb.li(k, 0)
+    fb.mov(addr, dbase)
+    fb.block("sum")
+    fb.ld(val, addr, 0)
+    fb.add(acc, acc, val)
+    fb.add(addr, addr, one)
+    fb.add(k, k, one)
+    fb.blt(k, n, "sum")
+    fb.block("exit")
+    fb.ret(acc)
+    return fb.build()
+
+
+def build_sha() -> Function:
+    """SHA-1-style mixing rounds — the high-pressure kernel (MiBench *sha*).
+
+    Five chaining variables, a 16-entry schedule, a hoisted round constant
+    and table base: the inner loop keeps ~15 values live, well past 8
+    registers.
+    """
+    fb = FunctionBuilder("sha")
+    n = fb.vreg()
+    fb.params = (n,)
+    fb.block("entry")
+    c = _Consts(fb)
+    wbase = c.get(0x4000)
+    kconst = c.get(0x5A827999)
+    fifteen = c.get(15)
+    one = c.get(1)
+    twenty = c.get(20)
+    w_count = fb.vreg()
+    fb.li(w_count, 16)
+    _fill_array(fb, c, "w", 0x4000, w_count, 11, 0x7FFFFFFF)
+    a, b, d, e, f_ = fb.vregs(5)
+    fb.li(a, 0x67452301)
+    fb.li(b, 0x7FCDAB89)
+    fb.li(d, 0x10325476)
+    fb.li(e, 0x43D2E1F0)
+    cc = fb.vreg()
+    fb.li(cc, 0x18BADCFE)
+    blk = fb.vreg()
+    fb.li(blk, 0)
+    fb.block("block_loop")
+    t = fb.vreg()
+    fb.li(t, 0)
+    fb.block("round")
+    f1, f2, nb, rot5, rot27, tmp, widx, wval, waddr = fb.vregs(9)
+    fb.emit(Instr("and", dst=f1, srcs=(b, cc)))
+    fb.xori(nb, b, -1)
+    fb.emit(Instr("and", dst=f2, srcs=(nb, d)))
+    fb.emit(Instr("or", dst=f1, srcs=(f1, f2)))
+    fb.shli(rot5, a, 5)
+    fb.shri(tmp, a, 27)
+    fb.emit(Instr("or", dst=rot5, srcs=(rot5, tmp)))
+    fb.emit(Instr("and", dst=widx, srcs=(t, fifteen)))
+    fb.add(waddr, wbase, widx)
+    fb.ld(wval, waddr, 0)
+    fb.add(rot5, rot5, f1)
+    fb.add(rot5, rot5, e)
+    fb.add(rot5, rot5, kconst)
+    fb.add(rot5, rot5, wval)
+    fb.mov(e, d)
+    fb.mov(d, cc)
+    fb.shli(rot27, b, 30)
+    fb.shri(tmp, b, 2)
+    fb.emit(Instr("or", dst=cc, srcs=(rot27, tmp)))
+    fb.mov(b, a)
+    fb.mov(a, rot5)
+    w2idx, w2addr, w2val = fb.vregs(3)
+    fb.addi(w2idx, t, 2)
+    fb.emit(Instr("and", dst=w2idx, srcs=(w2idx, fifteen)))
+    fb.add(w2addr, wbase, w2idx)
+    fb.ld(w2val, w2addr, 0)
+    fb.xor(wval, wval, w2val)
+    fb.st(wval, waddr, 0)
+    fb.add(t, t, one)
+    fb.blt(t, twenty, "round")
+    fb.block("block_next")
+    fb.add(blk, blk, one)
+    fb.blt(blk, n, "block_loop")
+    fb.block("exit")
+    acc = fb.vreg()
+    fb.add(acc, a, b)
+    fb.add(acc, acc, cc)
+    fb.add(acc, acc, d)
+    fb.add(acc, acc, e)
+    fb.ret(acc)
+    return fb.build()
+
+
+def build_fft() -> Function:
+    """Fixed-point butterfly passes (MiBench *fft*) — high register pressure."""
+    fb = FunctionBuilder("fft")
+    n = fb.vreg()
+    fb.params = (n,)
+    fb.block("entry")
+    c = _Consts(fb)
+    rbase = c.get(0x5000)
+    ibase = c.get(0x6000)
+    scale = c.get(4096)
+    eight = c.get(8)
+    one = c.get(1)
+    size, half = fb.vregs(2)
+    fb.li(size, 32)
+    fb.li(half, 16)
+    _fill_array(fb, c, "re", 0x5000, size, 17, 0xFFF)
+    _fill_array(fb, c, "im", 0x6000, size, 29, 0xFFF)
+    p = fb.vreg()
+    fb.li(p, 0)
+    fb.block("pass_loop")
+    i = fb.vreg()
+    fb.li(i, 0)
+    fb.block("bfly")
+    ra, ia, rb, ib, wr, wi, tr, ti, aaddr, baddr, iaaddr, ibaddr = fb.vregs(12)
+    fb.add(aaddr, rbase, i)
+    fb.add(baddr, aaddr, half)
+    fb.add(iaaddr, ibase, i)
+    fb.add(ibaddr, iaaddr, half)
+    fb.ld(ra, aaddr, 0)
+    fb.ld(ia, iaaddr, 0)
+    fb.ld(rb, baddr, 0)
+    fb.ld(ib, ibaddr, 0)
+    fb.mul(wi, i, eight)
+    fb.sub(wr, scale, wi)
+    t1, t2 = fb.vregs(2)
+    fb.mul(t1, wr, rb)
+    fb.mul(t2, wi, ib)
+    fb.sub(tr, t1, t2)
+    fb.shri(tr, tr, 12)
+    fb.mul(t1, wr, ib)
+    fb.mul(t2, wi, rb)
+    fb.add(ti, t1, t2)
+    fb.shri(ti, ti, 12)
+    o1, o2 = fb.vregs(2)
+    fb.add(o1, ra, tr)
+    fb.sub(o2, ra, tr)
+    fb.st(o1, aaddr, 0)
+    fb.st(o2, baddr, 0)
+    fb.add(o1, ia, ti)
+    fb.sub(o2, ia, ti)
+    fb.st(o1, iaaddr, 0)
+    fb.st(o2, ibaddr, 0)
+    fb.add(i, i, one)
+    fb.blt(i, half, "bfly")
+    fb.block("pass_next")
+    fb.add(p, p, one)
+    fb.blt(p, n, "pass_loop")
+    fb.block("checksum")
+    acc, kk, addr, val = fb.vregs(4)
+    fb.li(acc, 0)
+    fb.li(kk, 0)
+    fb.mov(addr, rbase)
+    fb.block("sum")
+    fb.ld(val, addr, 0)
+    fb.add(acc, acc, val)
+    fb.add(addr, addr, one)
+    fb.add(kk, kk, one)
+    fb.blt(kk, size, "sum")
+    fb.block("exit")
+    fb.ret(acc)
+    return fb.build()
+
+
+def build_stringsearch() -> Function:
+    """Naive substring scan over LCG text (MiBench *stringsearch*)."""
+    fb = FunctionBuilder("stringsearch")
+    n = fb.vreg()
+    fb.params = (n,)
+    fb.block("entry")
+    c = _Consts(fb)
+    tbase = c.get(0x7000)
+    one = c.get(1)
+    _fill_array(fb, c, "text", 0x7000, n, 23, 0x0F)
+    # pattern: the first two text elements (guarantees at least one match)
+    p0, p1 = fb.vregs(2)
+    fb.ld(p0, tbase, 0)
+    fb.ld(p1, tbase, 1)
+    found, i, limit = fb.vregs(3)
+    fb.li(found, 0)
+    fb.li(i, 0)
+    fb.sub(limit, n, one)
+    fb.block("scan")
+    c0, c1, addr = fb.vregs(3)
+    fb.add(addr, tbase, i)
+    fb.ld(c0, addr, 0)
+    fb.bne(c0, p0, "no_match")
+    fb.block("second")
+    fb.ld(c1, addr, 1)
+    fb.bne(c1, p1, "no_match")
+    fb.block("match")
+    fb.add(found, found, one)
+    fb.block("no_match")
+    fb.add(i, i, one)
+    fb.blt(i, limit, "scan")
+    fb.block("exit")
+    fb.ret(found)
+    return fb.build()
+
+
+def build_blowfish() -> Function:
+    """Feistel rounds with S-box lookups (MiBench *blowfish*)."""
+    fb = FunctionBuilder("blowfish")
+    n = fb.vreg()
+    fb.params = (n,)
+    fb.block("entry")
+    c = _Consts(fb)
+    sbase = c.get(0x8000)
+    m63 = c.get(63)
+    golden = c.get(0x9E3779)
+    one = c.get(1)
+    sixteen = c.get(16)
+    sbox_n = fb.vreg()
+    fb.li(sbox_n, 64)
+    _fill_array(fb, c, "sbox", 0x8000, sbox_n, 41, 0xFFFF)
+    left, right, blk, acc = fb.vregs(4)
+    fb.li(left, 0x12345678)
+    fb.li(right, 0x7EDCBA98)
+    fb.li(blk, 0)
+    fb.li(acc, 0)
+    fb.block("block_loop")
+    r = fb.vreg()
+    fb.li(r, 0)
+    fb.block("round")
+    i1, i2, i3, i4, s1, s2, s3, s4, f, addr = fb.vregs(10)
+    fb.emit(Instr("and", dst=i1, srcs=(left, m63)))
+    fb.shri(i2, left, 6)
+    fb.emit(Instr("and", dst=i2, srcs=(i2, m63)))
+    fb.shri(i3, left, 12)
+    fb.emit(Instr("and", dst=i3, srcs=(i3, m63)))
+    fb.shri(i4, left, 18)
+    fb.emit(Instr("and", dst=i4, srcs=(i4, m63)))
+    fb.add(addr, sbase, i1)
+    fb.ld(s1, addr, 0)
+    fb.add(addr, sbase, i2)
+    fb.ld(s2, addr, 0)
+    fb.add(addr, sbase, i3)
+    fb.ld(s3, addr, 0)
+    fb.add(addr, sbase, i4)
+    fb.ld(s4, addr, 0)
+    fb.add(f, s1, s2)
+    fb.xor(f, f, s3)
+    fb.add(f, f, s4)
+    rc, newl = fb.vregs(2)
+    fb.mul(rc, r, golden)
+    fb.xor(f, f, rc)
+    fb.xor(right, right, f)
+    fb.mov(newl, right)
+    fb.mov(right, left)
+    fb.mov(left, newl)
+    fb.add(r, r, one)
+    fb.blt(r, sixteen, "round")
+    fb.block("block_next")
+    fb.xor(acc, acc, left)
+    fb.add(acc, acc, right)
+    fb.add(blk, blk, one)
+    fb.blt(blk, n, "block_loop")
+    fb.block("exit")
+    fb.ret(acc)
+    return fb.build()
+
+
+def build_adpcm() -> Function:
+    """ADPCM step encoder with clamping branches (MiBench *adpcm*)."""
+    fb = FunctionBuilder("adpcm")
+    n = fb.vreg()
+    fb.params = (n,)
+    fb.block("entry")
+    c = _Consts(fb)
+    pbase = c.get(0x9000)
+    zero = c.get(0)
+    one = c.get(1)
+    four = c.get(4)
+    seven = c.get(7)
+    nine = c.get(9)
+    five = c.get(5)
+    seventeen = c.get(17)
+    _fill_array(fb, c, "pcm", 0x9000, n, 31, 0xFFF)
+    pred, step, i, out = fb.vregs(4)
+    fb.li(pred, 0)
+    fb.li(step, 7)
+    fb.li(i, 0)
+    fb.li(out, 0)
+    fb.block("sample")
+    x, diff, delta, addr = fb.vregs(4)
+    fb.add(addr, pbase, i)
+    fb.ld(x, addr, 0)
+    fb.sub(diff, x, pred)
+    fb.bge(diff, zero, "pos")
+    fb.block("neg")
+    fb.sub(diff, zero, diff)
+    fb.block("pos")
+    fb.div(delta, diff, step)
+    fb.ble(delta, seven, "no_clamp")
+    fb.block("clamp")
+    fb.mov(delta, seven)
+    fb.block("no_clamp")
+    upd = fb.vreg()
+    fb.mul(upd, delta, step)
+    fb.add(pred, pred, upd)
+    fb.bge(delta, four, "step_up")
+    fb.block("step_down")
+    fb.mul(step, step, nine)
+    fb.shri(step, step, 4)
+    fb.br("step_done")
+    fb.block("step_up")
+    fb.mul(step, step, five)
+    fb.shri(step, step, 2)
+    fb.block("step_done")
+    fb.bge(step, one, "step_ok")
+    fb.block("step_min")
+    fb.mov(step, one)
+    fb.block("step_ok")
+    fb.mul(out, out, seventeen)
+    fb.add(out, out, delta)
+    fb.add(i, i, one)
+    fb.blt(i, n, "sample")
+    fb.block("exit")
+    fb.ret(out)
+    return fb.build()
+
+
+def build_susan() -> Function:
+    """3-tap weighted smoothing stencil (MiBench *susan* smoothing)."""
+    fb = FunctionBuilder("susan")
+    n = fb.vreg()
+    fb.params = (n,)
+    fb.block("entry")
+    c = _Consts(fb)
+    ibase = c.get(0xA000)
+    obase = c.get(0xB000)
+    two = c.get(2)
+    one = c.get(1)
+    _fill_array(fb, c, "img", 0xA000, n, 53, 0xFF)
+    i, limit, acc = fb.vregs(3)
+    fb.li(i, 1)
+    fb.sub(limit, n, one)
+    fb.li(acc, 0)
+    fb.block("stencil")
+    a, b, cx, w0, w1, s, addr, outaddr = fb.vregs(8)
+    fb.add(addr, ibase, i)
+    fb.ld(a, addr, -1)
+    fb.ld(b, addr, 0)
+    fb.ld(cx, addr, 1)
+    fb.mul(w0, b, two)
+    fb.add(w1, a, cx)
+    fb.add(s, w0, w1)
+    fb.shri(s, s, 2)
+    fb.add(outaddr, obase, i)
+    fb.st(s, outaddr, 0)
+    fb.add(acc, acc, s)
+    fb.add(i, i, one)
+    fb.blt(i, limit, "stencil")
+    fb.block("exit")
+    fb.ret(acc)
+    return fb.build()
+
+
+def build_rijndael() -> Function:
+    """Byte-substitution + mixing rounds (MiBench *rijndael*)."""
+    fb = FunctionBuilder("rijndael")
+    n = fb.vreg()
+    fb.params = (n,)
+    fb.block("entry")
+    c = _Consts(fb)
+    tbase = c.get(0xC000)
+    m63 = c.get(63)
+    rcmul = c.get(0x1B)
+    one = c.get(1)
+    tbl_n = fb.vreg()
+    fb.li(tbl_n, 64)
+    _fill_array(fb, c, "tbl", 0xC000, tbl_n, 61, 0xFF)
+    s0, s1, s2, s3, blk, acc = fb.vregs(6)
+    fb.li(s0, 0x11)
+    fb.li(s1, 0x22)
+    fb.li(s2, 0x33)
+    fb.li(s3, 0x44)
+    fb.li(blk, 0)
+    fb.li(acc, 0)
+    fb.block("block_loop")
+    t0, t1, t2, t3, addr, key = fb.vregs(6)
+    for src, dst in ((s0, t0), (s1, t1), (s2, t2), (s3, t3)):
+        idx = fb.vreg()
+        fb.emit(Instr("and", dst=idx, srcs=(src, m63)))
+        fb.add(addr, tbase, idx)
+        fb.ld(dst, addr, 0)
+    fb.xor(s0, t0, t1)
+    fb.xor(s1, t1, t2)
+    fb.xor(s2, t2, t3)
+    fb.xor(s3, t3, t0)
+    fb.mul(key, blk, rcmul)
+    fb.xor(s0, s0, key)
+    fb.add(acc, acc, s0)
+    fb.add(acc, acc, s2)
+    fb.add(blk, blk, one)
+    fb.blt(blk, n, "block_loop")
+    fb.block("exit")
+    fb.add(acc, acc, s1)
+    fb.add(acc, acc, s3)
+    fb.ret(acc)
+    return fb.build()
+
+
+def build_dct() -> Function:
+    """1-D 8-point integer DCT butterflies (MiBench *jpeg*'s hot kernel).
+
+    The even/odd decomposition keeps all eight inputs, four sums, four
+    differences and the scaled constants live at once — with the stencil
+    coefficients hoisted, pressure rivals ``sha``.
+    """
+    fb = FunctionBuilder("dct")
+    n = fb.vreg()
+    fb.params = (n,)
+    fb.block("entry")
+    c = _Consts(fb)
+    ibase = c.get(0xD000)
+    obase = c.get(0xE000)
+    c1 = c.get(1004)   # cos table, 10-bit fixed point
+    c2 = c.get(851)
+    c3 = c.get(569)
+    c4 = c.get(724)
+    one = c.get(1)
+    eight = c.get(8)
+    count = fb.vreg()
+    fb.mul(count, n, eight)
+    _fill_array(fb, c, "samples", 0xD000, count, 37, 0x3FF)
+    blk, acc = fb.vregs(2)
+    fb.li(blk, 0)
+    fb.li(acc, 0)
+    fb.block("block_loop")
+    base, x0, x1, x2, x3, x4, x5, x6, x7 = fb.vregs(9)
+    fb.mul(base, blk, eight)
+    fb.add(base, base, ibase)
+    fb.ld(x0, base, 0)
+    fb.ld(x1, base, 1)
+    fb.ld(x2, base, 2)
+    fb.ld(x3, base, 3)
+    fb.ld(x4, base, 4)
+    fb.ld(x5, base, 5)
+    fb.ld(x6, base, 6)
+    fb.ld(x7, base, 7)
+    # even part: sums and differences
+    s0, s1, s2, s3, d0, d1, d2, d3 = fb.vregs(8)
+    fb.add(s0, x0, x7)
+    fb.add(s1, x1, x6)
+    fb.add(s2, x2, x5)
+    fb.add(s3, x3, x4)
+    fb.sub(d0, x0, x7)
+    fb.sub(d1, x1, x6)
+    fb.sub(d2, x2, x5)
+    fb.sub(d3, x3, x4)
+    y0, y2, y4, y6, t0, t1 = fb.vregs(6)
+    fb.add(t0, s0, s3)
+    fb.add(t1, s1, s2)
+    fb.add(y0, t0, t1)
+    fb.sub(y4, t0, t1)
+    fb.sub(t0, s0, s3)
+    fb.sub(t1, s1, s2)
+    fb.mul(y2, t0, c2)
+    fb.mul(t1, t1, c3)
+    fb.add(y2, y2, t1)
+    fb.shri(y2, y2, 10)
+    fb.mul(y6, t0, c3)
+    fb.sub(y6, y6, t1)
+    fb.shri(y6, y6, 10)
+    # odd part (abbreviated rotation network)
+    y1, y3, o0, o1 = fb.vregs(4)
+    fb.mul(o0, d0, c1)
+    fb.mul(o1, d1, c4)
+    fb.add(y1, o0, o1)
+    fb.shri(y1, y1, 10)
+    fb.mul(o0, d2, c4)
+    fb.mul(o1, d3, c1)
+    fb.sub(y3, o0, o1)
+    fb.shri(y3, y3, 10)
+    out = fb.vreg()
+    fb.mul(out, blk, eight)
+    fb.add(out, out, obase)
+    fb.st(y0, out, 0)
+    fb.st(y1, out, 1)
+    fb.st(y2, out, 2)
+    fb.st(y3, out, 3)
+    fb.st(y4, out, 4)
+    fb.st(y6, out, 6)
+    fb.add(acc, acc, y0)
+    fb.xor(acc, acc, y2)
+    fb.add(acc, acc, y1)
+    fb.add(blk, blk, one)
+    fb.blt(blk, n, "block_loop")
+    fb.block("exit")
+    fb.ret(acc)
+    return fb.build()
+
+
+def build_patricia() -> Function:
+    """Bit-trie lookups over a packed node array (MiBench *patricia*).
+
+    Branchy pointer chasing: each probe walks nodes testing one key bit per
+    step, with the node layout (bit index, left, right, value) flattened
+    into memory.  Low ALU pressure, high branch and D-cache activity —
+    the opposite profile from ``sha``/``fft``.
+    """
+    fb = FunctionBuilder("patricia")
+    n = fb.vreg()
+    fb.params = (n,)
+    fb.block("entry")
+    c = _Consts(fb)
+    tbase = c.get(0xF000)   # node array: 4 words per node
+    one = c.get(1)
+    four = c.get(4)
+    seven = c.get(7)
+    depth_limit = c.get(6)
+    node_count = fb.vreg()
+    fb.li(node_count, 64)
+    # fill the node fields pseudo-randomly: bit in [0,7], children in [0,15]
+    nn = fb.vreg()
+    fb.mul(nn, node_count, four)
+    _fill_array(fb, c, "nodes", 0xF000, nn, 43, 0x0F)
+    seed, tmp, i, acc = fb.vregs(4)
+    fb.li(seed, 5)
+    fb.li(i, 0)
+    fb.li(acc, 0)
+    fb.block("probe")
+    _lcg_step(fb, c, seed, tmp)
+    key, node, depth = fb.vregs(3)
+    fb.emit(Instr("and", dst=key, srcs=(seed, c.get(0xFF))))
+    fb.li(node, 0)
+    fb.li(depth, 0)
+    fb.block("walk")
+    addr, bit_idx, bit, child = fb.vregs(4)
+    fb.mul(addr, node, four)
+    fb.add(addr, addr, tbase)
+    fb.ld(bit_idx, addr, 0)
+    fb.emit(Instr("and", dst=bit_idx, srcs=(bit_idx, seven)))
+    fb.shr(bit, key, bit_idx)
+    fb.emit(Instr("and", dst=bit, srcs=(bit, one)))
+    fb.beq(bit, one, "go_right")
+    fb.block("go_left")
+    fb.ld(child, addr, 1)
+    fb.br("descend")
+    fb.block("go_right")
+    fb.ld(child, addr, 2)
+    fb.block("descend")
+    fb.mov(node, child)
+    fb.add(depth, depth, one)
+    fb.blt(depth, depth_limit, "walk")
+    fb.block("leaf")
+    val = fb.vreg()
+    fb.mul(addr, node, four)
+    fb.add(addr, addr, tbase)
+    fb.ld(val, addr, 3)
+    fb.add(acc, acc, val)
+    fb.xor(acc, acc, key)
+    fb.add(i, i, one)
+    fb.blt(i, n, "probe")
+    fb.block("exit")
+    fb.ret(acc)
+    return fb.build()
+
+
+def build_gsm() -> Function:
+    """Short-term LPC analysis filter (MiBench *gsm*).
+
+    A multiply-accumulate lattice over eight reflection coefficients with
+    saturation clamps — DSP-style code: moderate pressure, long dependence
+    chains, branchy clamping.
+    """
+    fb = FunctionBuilder("gsm")
+    n = fb.vreg()
+    fb.params = (n,)
+    fb.block("entry")
+    c = _Consts(fb)
+    sbase = c.get(0x11000)
+    rbase = c.get(0x12000)
+    one = c.get(1)
+    eight = c.get(8)
+    sat_hi = c.get(32767)
+    sat_lo = c.get(-32768)
+    _fill_array(fb, c, "samples", 0x11000, n, 71, 0x7FFF)
+    coeff_n = fb.vreg()
+    fb.li(coeff_n, 8)
+    _fill_array(fb, c, "refl", 0x12000, coeff_n, 73, 0x3FFF)
+    i, acc = fb.vregs(2)
+    fb.li(i, 0)
+    fb.li(acc, 0)
+    fb.block("sample")
+    # lattice: u and d recurrences through the coefficient array
+    u, d, addr = fb.vregs(3)
+    fb.add(addr, sbase, i)
+    fb.ld(u, addr, 0)
+    fb.mov(d, u)
+    k = fb.vreg()
+    fb.li(k, 0)
+    fb.block("stage")
+    r, caddr, t1, t2, unew = fb.vregs(5)
+    fb.add(caddr, rbase, k)
+    fb.ld(r, caddr, 0)
+    fb.mul(t1, r, d)
+    fb.shri(t1, t1, 14)
+    fb.add(unew, u, t1)
+    fb.mul(t2, r, u)
+    fb.shri(t2, t2, 14)
+    fb.add(d, d, t2)
+    fb.mov(u, unew)
+    # saturate u
+    fb.ble(u, sat_hi, "no_hi")
+    fb.block("clamp_hi")
+    fb.mov(u, sat_hi)
+    fb.block("no_hi")
+    fb.bge(u, sat_lo, "no_lo")
+    fb.block("clamp_lo")
+    fb.mov(u, sat_lo)
+    fb.block("no_lo")
+    fb.add(k, k, one)
+    fb.blt(k, eight, "stage")
+    fb.block("next")
+    fb.xor(acc, acc, u)
+    fb.add(acc, acc, d)
+    fb.add(i, i, one)
+    fb.blt(i, n, "sample")
+    fb.block("exit")
+    fb.ret(acc)
+    return fb.build()
+
+
+def build_sha256() -> Function:
+    """SHA-256-style compression step (modern-crypto cousin of ``sha``).
+
+    Eight chaining variables plus the sigma rotations: the highest-pressure
+    kernel in the suite (~18 live values in the round loop).
+    """
+    fb = FunctionBuilder("sha256")
+    n = fb.vreg()
+    fb.params = (n,)
+    fb.block("entry")
+    c = _Consts(fb)
+    wbase = c.get(0x13000)
+    kconst = c.get(0x428A2F98 & 0x7FFFFFFF)
+    fifteen = c.get(15)
+    one = c.get(1)
+    rounds = c.get(16)
+    w_count = fb.vreg()
+    fb.li(w_count, 16)
+    _fill_array(fb, c, "w", 0x13000, w_count, 83, 0x7FFFFFFF)
+    a, b, cc, d, e, f, g, h = fb.vregs(8)
+    for reg, init in ((a, 0x6A09E667), (b, 0x3B67AE85), (cc, 0x3C6EF372),
+                      (d, 0x2454FF53), (e, 0x310E527F), (f, 0x1B05688C),
+                      (g, 0x1F83D9AB), (h, 0x5BE0CD19)):
+        fb.li(reg, init & 0x7FFFFFFF)
+    blk = fb.vreg()
+    fb.li(blk, 0)
+    fb.block("block_loop")
+    t = fb.vreg()
+    fb.li(t, 0)
+    fb.block("round")
+    s1, ch, nch, tmp1, s0, maj, tmp2, widx, waddr, wval = fb.vregs(10)
+    # S1 = rotr(e, 6) ^ rotr(e, 11) (truncated rotation network)
+    r1, r2 = fb.vregs(2)
+    fb.shri(r1, e, 6)
+    fb.shli(r2, e, 26)
+    fb.emit(Instr("or", dst=s1, srcs=(r1, r2)))
+    fb.shri(r1, e, 11)
+    fb.xor(s1, s1, r1)
+    # ch = (e & f) ^ (~e & g)
+    fb.emit(Instr("and", dst=ch, srcs=(e, f)))
+    fb.xori(nch, e, -1)
+    fb.emit(Instr("and", dst=nch, srcs=(nch, g)))
+    fb.xor(ch, ch, nch)
+    fb.emit(Instr("and", dst=widx, srcs=(t, fifteen)))
+    fb.add(waddr, wbase, widx)
+    fb.ld(wval, waddr, 0)
+    fb.add(tmp1, h, s1)
+    fb.add(tmp1, tmp1, ch)
+    fb.add(tmp1, tmp1, kconst)
+    fb.add(tmp1, tmp1, wval)
+    # S0 and maj
+    fb.shri(r1, a, 2)
+    fb.shli(r2, a, 30)
+    fb.emit(Instr("or", dst=s0, srcs=(r1, r2)))
+    fb.emit(Instr("and", dst=maj, srcs=(a, b)))
+    fb.emit(Instr("and", dst=r1, srcs=(a, cc)))
+    fb.xor(maj, maj, r1)
+    fb.emit(Instr("and", dst=r2, srcs=(b, cc)))
+    fb.xor(maj, maj, r2)
+    fb.add(tmp2, s0, maj)
+    # rotate the eight chaining variables
+    fb.mov(h, g)
+    fb.mov(g, f)
+    fb.mov(f, e)
+    fb.add(e, d, tmp1)
+    fb.mov(d, cc)
+    fb.mov(cc, b)
+    fb.mov(b, a)
+    fb.add(a, tmp1, tmp2)
+    fb.add(t, t, one)
+    fb.blt(t, rounds, "round")
+    fb.block("block_next")
+    fb.add(blk, blk, one)
+    fb.blt(blk, n, "block_loop")
+    fb.block("exit")
+    out = fb.vreg()
+    fb.add(out, a, e)
+    fb.xor(out, out, d)
+    fb.add(out, out, h)
+    fb.ret(out)
+    return fb.build()
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Workload:
+    """One benchmark kernel: a builder plus run parameters."""
+
+    name: str
+    build: Callable[[], Function]
+    default_args: Tuple[int, ...] = (16,)
+    bench_args: Tuple[int, ...] = (64,)
+    description: str = ""
+
+    def function(self) -> Function:
+        """Build a fresh copy of the kernel."""
+        return self.build()
+
+
+MIBENCH: Tuple[Workload, ...] = (
+    Workload("bitcount", build_bitcount, (24,), (256,),
+             "Kernighan bit counting"),
+    Workload("crc32", build_crc32, (24,), (256,), "bitwise CRC-32"),
+    Workload("qsort", build_qsort, (12,), (48,), "comparison sort sweep"),
+    Workload("dijkstra", build_dijkstra, (6,), (12,),
+             "shortest-path relaxation"),
+    Workload("sha", build_sha, (4,), (32,), "SHA-1-style mixing rounds"),
+    Workload("fft", build_fft, (4,), (32,), "fixed-point butterflies"),
+    Workload("stringsearch", build_stringsearch, (48,), (512,),
+             "substring scan"),
+    Workload("blowfish", build_blowfish, (6,), (48,), "Feistel rounds"),
+    Workload("adpcm", build_adpcm, (24,), (256,), "ADPCM step encoder"),
+    Workload("susan", build_susan, (32,), (512,), "smoothing stencil"),
+    Workload("rijndael", build_rijndael, (16,), (128,),
+             "byte substitution rounds"),
+    Workload("dct", build_dct, (6,), (48,), "8-point integer DCT"),
+    Workload("patricia", build_patricia, (24,), (256,),
+             "bit-trie lookups"),
+    Workload("gsm", build_gsm, (12,), (96,), "LPC lattice filter"),
+    Workload("sha256", build_sha256, (3,), (24,),
+             "SHA-256 compression rounds"),
+)
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a benchmark kernel by name (KeyError if unknown)."""
+    for w in MIBENCH:
+        if w.name == name:
+            return w
+    raise KeyError(f"unknown workload {name!r}")

@@ -1,0 +1,77 @@
+"""Shared fixtures: small canonical programs used across the suite."""
+
+import random
+
+import pytest
+
+from repro.ir import FunctionBuilder, parse_function
+
+
+@pytest.fixture
+def sum_fn():
+    """sum(n) = 0 + 1 + ... + (n-1): one loop, three live values."""
+    fb = FunctionBuilder("sum")
+    n, i, acc = fb.vregs(3)
+    fb.params = (n,)
+    fb.block("entry")
+    fb.li(i, 0)
+    fb.li(acc, 0)
+    fb.block("loop")
+    fb.add(acc, acc, i)
+    fb.addi(i, i, 1)
+    fb.blt(i, n, "loop")
+    fb.block("exit")
+    fb.ret(acc)
+    return fb.build()
+
+
+@pytest.fixture
+def diamond_fn():
+    """if/else diamond joining into a shared block."""
+    return parse_function("""
+func diamond(v0):
+entry:
+    li v1, 10
+    blt v0, v1, small
+big:
+    addi v2, v0, 100
+    br join
+small:
+    addi v2, v0, 1
+join:
+    add v3, v2, v2
+    ret v3
+""")
+
+
+def make_pressure_fn(nvals=14, seed=1, iters=20, name="pressure"):
+    """A loop kernel keeping ``nvals`` values live across iterations."""
+    rng = random.Random(seed)
+    fb = FunctionBuilder(name)
+    n = fb.vreg()
+    fb.params = (n,)
+    vals = fb.vregs(nvals)
+    fb.block("entry")
+    for j, v in enumerate(vals):
+        fb.li(v, j + 1)
+    i = fb.vreg()
+    fb.li(i, 0)
+    fb.block("loop")
+    for _ in range(iters):
+        a, b = rng.sample(vals, 2)
+        d = rng.choice(vals)
+        fb.add(d, a, b)
+    fb.addi(i, i, 1)
+    fb.blt(i, n, "loop")
+    fb.block("exit")
+    acc = fb.vreg()
+    fb.li(acc, 0)
+    for v in vals:
+        fb.add(acc, acc, v)
+    fb.ret(acc)
+    return fb.build()
+
+
+@pytest.fixture
+def pressure_fn():
+    return make_pressure_fn()

@@ -1,0 +1,69 @@
+"""Access-order and access-sequence tests (paper Sections 2 and 9.4)."""
+
+import pytest
+
+from repro.encoding import access_fields, access_sequence, block_access_sequence
+from repro.ir import Instr, parse_function, vreg
+
+
+ADD = Instr("add", dst=vreg(0), srcs=(vreg(1), vreg(2)))
+ST = Instr("st", srcs=(vreg(3), vreg(4)), imm=0)
+LI = Instr("li", dst=vreg(5), imm=1)
+
+
+class TestAccessFields:
+    def test_src_first_order(self):
+        assert access_fields(ADD, "src_first") == (vreg(1), vreg(2), vreg(0))
+
+    def test_dst_first_order(self):
+        assert access_fields(ADD, "dst_first") == (vreg(0), vreg(1), vreg(2))
+
+    def test_store_has_no_destination_field(self):
+        assert access_fields(ST) == (vreg(3), vreg(4))
+        assert access_fields(ST, "dst_first") == (vreg(3), vreg(4))
+
+    def test_li_single_field(self):
+        assert access_fields(LI) == (vreg(5),)
+
+    def test_class_filtering(self):
+        mixed = Instr("add", dst=vreg(0),
+                      srcs=(vreg(1, "float"), vreg(2)))
+        assert access_fields(mixed, cls="int") == (vreg(2), vreg(0))
+        assert access_fields(mixed, cls="float") == (vreg(1, "float"),)
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ValueError, match="access order"):
+            access_fields(ADD, "random")
+
+    def test_setlr_contributes_nothing(self):
+        assert access_fields(Instr("setlr", imm=(1, 0, "int"))) == ()
+
+
+class TestSequences:
+    FN = parse_function("""
+func f(v9):
+entry:
+    add v1, v2, v3
+    st v1, [v4+0]
+loop:
+    addi v2, v2, 1
+    blt v2, v9, loop
+exit:
+    ret v1
+""")
+
+    def test_block_sequence(self):
+        seq = block_access_sequence(self.FN.block("entry"))
+        assert seq == [vreg(2), vreg(3), vreg(1), vreg(1), vreg(4)]
+
+    def test_function_sequence_layout_order(self):
+        seq = access_sequence(self.FN)
+        # entry fields, then loop fields, then exit
+        assert seq[:5] == [vreg(2), vreg(3), vreg(1), vreg(1), vreg(4)]
+        assert seq[-1] == vreg(1)
+
+    def test_dst_first_changes_pairs(self):
+        a = access_sequence(self.FN, "src_first")
+        b = access_sequence(self.FN, "dst_first")
+        assert a != b
+        assert sorted(map(str, a)) == sorted(map(str, b))  # same multiset

@@ -1,0 +1,109 @@
+"""Tests for the encoding-alternatives study and the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import run_alternatives_study
+from repro.workloads import MIBENCH
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_alternatives_study(MIBENCH[:4], remap_restarts=5)
+
+
+class TestAlternativesStudy:
+    def test_all_rows_present(self, study):
+        assert len(study.rows) == 4 * 3
+
+    def test_direct16_eliminates_most_spills(self, study):
+        for b in study.benchmarks():
+            assert study.row(b, "direct-16").spills <= \
+                study.row(b, "direct-8").spills
+
+    def test_direct16_doubles_fetch_traffic(self, study):
+        for b in study.benchmarks():
+            narrow = study.row(b, "direct-8")
+            wide = study.row(b, "direct-16")
+            # 2x bytes per instruction, partially offset by fewer spills
+            assert wide.fetch_bytes > 1.5 * narrow.fetch_bytes
+
+    def test_differential_keeps_fetch_width(self, study):
+        for b in study.benchmarks():
+            narrow = study.row(b, "direct-8")
+            diff = study.row(b, "differential-12")
+            assert diff.fetch_bytes < 1.3 * narrow.fetch_bytes
+
+    def test_differential_cuts_spills(self, study):
+        total8 = sum(study.row(b, "direct-8").spills
+                     for b in study.benchmarks())
+        total12 = sum(study.row(b, "differential-12").spills
+                      for b in study.benchmarks())
+        assert total12 < total8
+
+    def test_table_renders(self, study):
+        text = study.table().render()
+        assert "direct-16" in text and "differential-12" in text
+
+    def test_missing_row(self, study):
+        with pytest.raises(KeyError):
+            study.row("nope", "direct-8")
+
+
+class TestCLI:
+    def test_parser_has_all_commands(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for cmd in ("lowend", "fig11", "swp", "alternatives", "bench",
+                    "list", "encode"):
+            assert cmd in text
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "crc32" in out and "sha" in out
+
+    def test_bench_command(self, capsys):
+        assert main(["bench", "bitcount", "--restarts", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "coalesce" in out
+
+    def test_bench_unknown_benchmark(self, capsys):
+        assert main(["bench", "doom"]) == 1
+
+    def test_encode_command(self, tmp_path, capsys):
+        src = tmp_path / "prog.s"
+        src.write_text(
+            "func f():\nentry:\n    add r1, r0, r1\n    ret r1\n"
+        )
+        assert main(["encode", str(src), "--reg-n", "12",
+                     "--diff-n", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "RegN=12" in out
+        assert "set_last_reg" in out
+
+    def test_encode_dst_first(self, tmp_path, capsys):
+        src = tmp_path / "prog.s"
+        src.write_text(
+            "func f():\nentry:\n    add r1, r1, r2\n    ret r1\n"
+        )
+        assert main(["encode", str(src), "--access-order",
+                     "dst_first"]) == 0
+
+
+class TestCLIDisasmAndSweep:
+    def test_disasm_command(self, tmp_path, capsys):
+        from repro.cli import main
+        src = tmp_path / "prog.s"
+        src.write_text(
+            "func f():\nentry:\n    add r1, r0, r9\n    ret r1\n"
+        )
+        assert main(["disasm", str(src)]) == 0
+        out = capsys.readouterr().out
+        assert "RegN=12" in out
+        assert "add r1, r0, r9" in out
+
+    def test_help_mentions_new_commands(self):
+        from repro.cli import build_parser
+        text = build_parser().format_help()
+        assert "disasm" in text and "sweep" in text

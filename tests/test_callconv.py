@@ -1,0 +1,133 @@
+"""Calling-convention tests (paper Section 9.3)."""
+
+import pytest
+
+from repro.ir import FunctionBuilder, Instr, Interpreter, Reg, phys
+from repro.regalloc import (
+    CallingConvention,
+    check_convention,
+    iterated_allocate,
+    remap_with_convention,
+)
+from repro.regalloc.callconv import _sequence_parallel_moves
+from repro.workloads import get_workload
+
+CC = CallingConvention()
+
+
+def allocated_with_call(k=12):
+    """A kernel whose allocated code contains a call using convention regs."""
+    fb = FunctionBuilder("caller")
+    n = fb.vreg()
+    fb.params = (n,)
+    fb.block("entry")
+    a, b, out = fb.vregs(3)
+    fb.li(a, 7)
+    fb.li(b, 9)
+    fb.add(out, a, b)
+    fb.ret(out)
+    fn = iterated_allocate(fb.build(), k).fn
+    # append a call site at convention registers into the entry block
+    call = Instr("call", label="helper",
+                 call_uses=(phys(0), phys(1)), call_defs=(phys(0),))
+    fn.entry.instrs.insert(len(fn.entry.instrs) - 1, call)
+    return fn
+
+
+class TestCheckConvention:
+    def test_clean_function_passes(self):
+        fn = allocated_with_call()
+        assert check_convention(fn, CC) == []
+
+    def test_moved_argument_detected(self):
+        fn = allocated_with_call()
+        call = next(i for i in fn.instructions() if i.op == "call")
+        call.call_uses = (phys(5), phys(1))
+        violations = check_convention(fn, CC)
+        assert len(violations) == 1
+        assert violations[0].role == "arg"
+        assert violations[0].expected == 0 and violations[0].found == 5
+
+    def test_moved_return_detected(self):
+        fn = allocated_with_call()
+        call = next(i for i in fn.instructions() if i.op == "call")
+        call.call_defs = (phys(3),)
+        violations = check_convention(fn, CC)
+        assert violations[0].role == "ret"
+
+
+class TestPinStrategy:
+    def test_pinned_registers_are_fixed_points(self):
+        fn = allocated_with_call()
+        result = remap_with_convention(fn, 12, 8, CC, strategy="pin",
+                                       restarts=5)
+        for p in CC.pinned:
+            if p < 12:
+                assert result.remap.permutation[p] == p
+        assert result.repair_moves == 0
+        assert check_convention(result.fn, CC) == []
+
+    def test_pin_cost_never_below_free(self):
+        fn = iterated_allocate(get_workload("crc32").function(), 12).fn
+        pinned = remap_with_convention(fn, 12, 8, CC, strategy="pin",
+                                       restarts=20)
+        from repro.regalloc import differential_remap
+        free = differential_remap(fn, 12, 8, restarts=20)
+        assert pinned.remap.cost_after >= free.cost_after
+
+
+class TestRepairStrategy:
+    def test_repair_restores_convention(self):
+        fn = allocated_with_call()
+        result = remap_with_convention(fn, 12, 8, CC, strategy="repair",
+                                       restarts=5)
+        assert check_convention(result.fn, CC) == []
+
+    def test_repair_moves_counted(self):
+        fn = allocated_with_call()
+        result = remap_with_convention(fn, 12, 8, CC, strategy="repair",
+                                       restarts=5)
+        moves = sum(1 for i in result.fn.instructions()
+                    if i.op in ("mov", "xor")) - \
+            sum(1 for i in fn.instructions() if i.op in ("mov", "xor"))
+        assert moves == result.repair_moves
+
+    def test_unknown_strategy(self):
+        fn = allocated_with_call()
+        with pytest.raises(ValueError, match="strategy"):
+            remap_with_convention(fn, 12, 8, CC, strategy="wish")
+
+
+class TestParallelMoves:
+    def test_independent_moves(self):
+        out = _sequence_parallel_moves([
+            (phys(0), phys(5)), (phys(1), phys(6)),
+        ])
+        assert [i.op for i in out] == ["mov", "mov"]
+
+    def test_chain_ordered_correctly(self):
+        # r0 := r1 and r1 := r2 — must move r0:=r1 first
+        out = _sequence_parallel_moves([
+            (phys(1), phys(2)), (phys(0), phys(1)),
+        ])
+        assert out[0].dst == phys(0)
+        assert out[1].dst == phys(1)
+
+    def test_cycle_broken_with_xor(self):
+        out = _sequence_parallel_moves([
+            (phys(0), phys(1)), (phys(1), phys(0)),
+        ])
+        assert any(i.op == "xor" for i in out)
+
+    def test_cycle_sequence_is_semantically_a_swap(self):
+        # execute the emitted sequence on a fake register file
+        out = _sequence_parallel_moves([
+            (phys(0), phys(1)), (phys(1), phys(0)),
+        ])
+        regs = {phys(0): 111, phys(1): 222}
+        for i in out:
+            if i.op == "mov":
+                regs[i.dst] = regs[i.srcs[0]]
+            else:
+                regs[i.dst] = regs[i.srcs[0]] ^ regs[i.srcs[1]]
+        assert regs[phys(0)] == 222 and regs[phys(1)] == 111

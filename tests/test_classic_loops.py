@@ -1,0 +1,71 @@
+"""Classic loop kernels: their known structural properties must hold."""
+
+import pytest
+
+from repro.machine.spec import VLIWConfig
+from repro.swp import allocate_kernel, encode_kernel, modulo_schedule
+from repro.workloads.classic_loops import (
+    CLASSIC_LOOPS,
+    fir_filter,
+    get_classic_loop,
+    recurrence_chain,
+)
+
+
+class TestStructure:
+    @pytest.mark.parametrize("name", sorted(CLASSIC_LOOPS))
+    def test_all_schedule_and_allocate(self, name):
+        ddg = get_classic_loop(name)
+        schedule = modulo_schedule(ddg)
+        assert schedule.ii >= ddg.mii()
+        alloc = allocate_kernel(ddg, 32)
+        assert alloc.max_live <= 32 or alloc.derated
+
+    def test_dot_product_recurrence_bound(self):
+        ddg = get_classic_loop("dot_product")
+        assert ddg.rec_mii() >= 1
+        # ports: two loads over two ports
+        assert ddg.res_mii() >= 1
+
+    def test_daxpy_is_resource_bound(self):
+        ddg = get_classic_loop("daxpy")
+        # three memory ops over two ports dominate the one-cycle recurrences
+        assert ddg.res_mii() >= 2
+        assert ddg.rec_mii() <= ddg.res_mii()
+
+    def test_recurrence_chain_binds_ii(self):
+        ddg = recurrence_chain(6)
+        s = modulo_schedule(ddg)
+        assert s.ii >= 7  # mul latency 6 + alu 1 over distance 1
+        # more functional units cannot help a recurrence
+        wide = modulo_schedule(ddg, VLIWConfig(n_functional_units=16))
+        assert wide.ii == s.ii
+
+    def test_fir_pressure_grows_with_taps(self):
+        small = modulo_schedule(fir_filter(4)).max_live()
+        large = modulo_schedule(fir_filter(16)).max_live()
+        assert large > small
+
+    def test_reduction_tree_wide_parallelism(self):
+        ddg = get_classic_loop("reduce8")
+        s = modulo_schedule(ddg)
+        # 8 loads over 2 ports floor the II at 4
+        assert s.ii >= 4
+
+
+class TestDifferentialOnClassics:
+    def test_fir16_benefits_from_registers(self):
+        ddg = fir_filter(16)
+        narrow = allocate_kernel(ddg, 12)
+        wide = allocate_kernel(ddg, 48)
+        assert wide.ii <= narrow.ii
+        assert wide.n_spill_ops <= narrow.n_spill_ops
+
+    def test_encoding_a_classic_kernel(self):
+        alloc = allocate_kernel(get_classic_loop("fir16"), 48)
+        report = encode_kernel(alloc, diff_n=32, restarts=2)
+        assert report.n_out_of_range_after <= report.n_out_of_range_before
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            get_classic_loop("fft1024")

@@ -1,0 +1,59 @@
+"""Decoder hardware-cost model tests, pinned to the paper's Section 2.1
+claims."""
+
+import pytest
+
+from repro.encoding import EncodingConfig
+from repro.machine import DecoderCostModel
+
+
+EMBEDDED = DecoderCostModel(EncodingConfig(reg_n=16, diff_n=8))
+
+
+class TestPaperClaims:
+    def test_single_operand_two_gate_delay(self):
+        """'Such circuits only incur two-gate delay ... less than 0.4ns.'"""
+        est = EMBEDDED.estimate(1)
+        assert est.logic_levels == 2
+        assert est.delay_ns <= 0.4
+
+    def test_fifth_of_a_cycle_at_500mhz(self):
+        """'1/5 cycle if the processor is clocked at 500MHz.'"""
+        est = EMBEDDED.estimate(1)
+        assert est.cycle_fraction(500.0) <= 0.2 + 1e-9
+
+    def test_three_operand_decoder_under_2k_transistors(self):
+        """'a rough estimation tells us that it can be built with less than
+        2k transistors, which is negligibly small.'"""
+        est = EMBEDDED.estimate(3)
+        assert est.transistor_count < 2000
+
+    def test_one_extra_register_per_class_and_path(self):
+        assert EMBEDDED.last_reg_registers() == 1
+        assert EMBEDDED.last_reg_registers(classes=2) == 2
+        assert EMBEDDED.last_reg_registers(speculative_paths=4) == 4
+
+
+class TestScaling:
+    def test_128_register_machine_still_small(self):
+        """'even with 128 registers, 7-bit modulo adders can be constructed
+        easily.'"""
+        big = DecoderCostModel(EncodingConfig(reg_n=128, diff_n=32))
+        est = big.estimate(3)
+        assert est.output_bits == 7
+        assert est.transistor_count < 5000
+
+    def test_power_of_two_reg_n_cheaper(self):
+        p2 = DecoderCostModel(EncodingConfig(reg_n=16, diff_n=8)).estimate(2)
+        odd = DecoderCostModel(EncodingConfig(reg_n=12, diff_n=8)).estimate(2)
+        assert p2.gate_count < odd.gate_count  # no mod correction needed
+
+    def test_more_operands_more_gates(self):
+        e1 = EMBEDDED.estimate(1)
+        e3 = EMBEDDED.estimate(3)
+        assert e3.gate_count > e1.gate_count
+        assert e3.input_bits > e1.input_bits
+
+    def test_invalid_operand_count(self):
+        with pytest.raises(ValueError):
+            EMBEDDED.estimate(0)

@@ -1,0 +1,84 @@
+"""Difference-distribution statistics tests."""
+
+import pytest
+
+from repro.encoding.stats import difference_stats
+from repro.ir import parse_function
+from repro.regalloc import DifferentialSelector, iterated_allocate
+from repro.workloads import MIBENCH
+
+
+class TestDifferenceStats:
+    def test_figure2_distribution(self):
+        """The paper's Figure 2 shape: consecutive +1 walks give diffs in
+        {0, 1} only."""
+        fn = parse_function("""
+func f():
+entry:
+    add r1, r0, r1
+    add r2, r1, r2
+    add r3, r2, r3
+    ret r3
+""")
+        stats = difference_stats(fn, reg_n=4)
+        assert set(stats.histogram) <= {0, 1, 2}
+        assert stats.coverage(2) >= 0.9
+
+    def test_coverage_monotone_in_diff_n(self):
+        fn = iterated_allocate(MIBENCH[1].function(), 12).fn
+        stats = difference_stats(fn, 12)
+        cov = [stats.coverage(d) for d in range(1, 13)]
+        assert cov == sorted(cov)
+        assert cov[-1] == 1.0
+
+    def test_smallest_diff_n(self):
+        fn = iterated_allocate(MIBENCH[1].function(), 12).fn
+        stats = difference_stats(fn, 12)
+        d = stats.smallest_diff_n_for(0.8)
+        assert stats.coverage(d) >= 0.8
+        if d > 1:
+            assert stats.coverage(d - 1) < 0.8
+
+    def test_selector_shifts_mass_toward_small_diffs(self):
+        """Differential select exists to concentrate the histogram below
+        DiffN; verify it does so relative to arbitrary coloring."""
+        improvements = 0
+        for w in MIBENCH[:5]:
+            fn = w.function()
+            base = iterated_allocate(fn, 12).fn
+            sel = iterated_allocate(
+                fn, 12, selector=DifferentialSelector(12, 8)
+            ).fn
+            base_cov = difference_stats(base, 12).coverage(8)
+            sel_cov = difference_stats(sel, 12).coverage(8)
+            if sel_cov >= base_cov:
+                improvements += 1
+        assert improvements >= 3
+
+    def test_quantiles(self):
+        fn = iterated_allocate(MIBENCH[0].function(), 12).fn
+        med, p90, top = difference_stats(fn, 12).quantiles()
+        assert 0 <= med <= p90 <= top < 12
+
+    def test_virtual_code_rejected(self, sum_fn):
+        with pytest.raises(ValueError, match="allocated"):
+            difference_stats(sum_fn, 8)
+
+    def test_empty_histogram(self):
+        fn = parse_function("func f():\nentry:\n    ret r0\n")
+        stats = difference_stats(fn, 4)
+        assert stats.n_fields == 1
+        assert stats.coverage(1) in (0.0, 1.0)
+
+
+class TestRotatingRegisterAccounting:
+    def test_rotating_kernel_single_copy(self):
+        from repro.swp import allocate_kernel
+        from repro.workloads.spec_loops import generate_loop
+
+        alloc = allocate_kernel(generate_loop(205, big=True).ddg, 48)
+        mve = alloc.code_size_ops(rotating=False)
+        rot = alloc.code_size_ops(rotating=True)
+        assert rot <= mve
+        if alloc.schedule.mve_unroll() > 1:
+            assert rot < mve

@@ -1,0 +1,62 @@
+"""Documentation hygiene: every public item carries a docstring.
+
+Deliverable (e) of this reproduction requires doc comments on every public
+item; this meta-test enforces it structurally so the guarantee survives
+future edits.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _public_modules():
+    out = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if any(part.startswith("_") for part in info.name.split(".")):
+            continue
+        out.append(info.name)
+    return sorted(out)
+
+
+MODULES = _public_modules()
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_module_has_docstring(name):
+    module = importlib.import_module(name)
+    assert module.__doc__ and module.__doc__.strip(), f"{name} lacks a docstring"
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_public_classes_and_functions_documented(name):
+    module = importlib.import_module(name)
+    missing = []
+    for attr_name, attr in vars(module).items():
+        if attr_name.startswith("_"):
+            continue
+        if getattr(attr, "__module__", None) != name:
+            continue  # re-export; documented at its definition site
+        if inspect.isclass(attr) or inspect.isfunction(attr):
+            if not (attr.__doc__ and attr.__doc__.strip()):
+                missing.append(attr_name)
+            if inspect.isclass(attr):
+                for m_name, member in vars(attr).items():
+                    if m_name.startswith("_"):
+                        continue
+                    if inspect.isfunction(member) and not (
+                            member.__doc__ and member.__doc__.strip()):
+                        missing.append(f"{attr_name}.{m_name}")
+    assert not missing, f"{name}: undocumented public items: {missing}"
+
+
+def test_package_inventory_sane():
+    """The walk must actually cover the library."""
+    assert len(MODULES) > 35
+    for expected in ("repro.encoding.encoder", "repro.regalloc.iterated",
+                     "repro.swp.modulo", "repro.experiments.lowend"):
+        assert expected in MODULES

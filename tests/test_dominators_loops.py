@@ -1,0 +1,91 @@
+"""Dominators, natural loops, and static frequency estimation."""
+
+from repro.analysis import (
+    compute_dominators,
+    estimate_block_frequencies,
+    find_natural_loops,
+    immediate_dominators,
+    loop_depths,
+)
+from repro.ir import parse_function
+
+
+NESTED = """
+func f(v0):
+entry:
+    li v1, 0
+outer:
+    li v2, 0
+inner:
+    addi v2, v2, 1
+    blt v2, v0, inner
+after_inner:
+    addi v1, v1, 1
+    blt v1, v0, outer
+exit:
+    ret v1
+"""
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self, diamond_fn):
+        dom = compute_dominators(diamond_fn)
+        assert all("entry" in ds for ds in dom.values())
+
+    def test_arms_do_not_dominate_join(self, diamond_fn):
+        dom = compute_dominators(diamond_fn)
+        assert "big" not in dom["join"]
+        assert "small" not in dom["join"]
+
+    def test_idom_of_join_is_branch_block(self, diamond_fn):
+        idom = immediate_dominators(diamond_fn)
+        assert idom["join"] == "entry"
+        assert idom["entry"] is None
+
+    def test_nested_loop_dominators(self):
+        fn = parse_function(NESTED)
+        dom = compute_dominators(fn)
+        assert "outer" in dom["inner"]
+        assert "inner" in dom["after_inner"]
+
+
+class TestNaturalLoops:
+    def test_simple_loop(self, sum_fn):
+        loops = find_natural_loops(sum_fn)
+        assert len(loops) == 1
+        assert loops[0].header == "loop"
+        assert loops[0].body == frozenset({"loop"})
+
+    def test_nested_loops(self):
+        fn = parse_function(NESTED)
+        loops = find_natural_loops(fn)
+        headers = {l.header for l in loops}
+        assert headers == {"outer", "inner"}
+        outer = next(l for l in loops if l.header == "outer")
+        assert "inner" in outer
+        assert "after_inner" in outer
+
+    def test_no_loops_in_diamond(self, diamond_fn):
+        assert find_natural_loops(diamond_fn) == []
+
+    def test_depths(self):
+        fn = parse_function(NESTED)
+        depths = loop_depths(fn)
+        assert depths["entry"] == 0
+        assert depths["outer"] == 1
+        assert depths["inner"] == 2
+        assert depths["after_inner"] == 1
+        assert depths["exit"] == 0
+
+
+class TestFrequencies:
+    def test_frequency_scales_with_depth(self):
+        fn = parse_function(NESTED)
+        freq = estimate_block_frequencies(fn)
+        assert freq["inner"] == 100.0
+        assert freq["outer"] == 10.0
+        assert freq["entry"] == 1.0
+
+    def test_custom_loop_factor(self, sum_fn):
+        freq = estimate_block_frequencies(sum_fn, loop_factor=4.0)
+        assert freq["loop"] == 4.0

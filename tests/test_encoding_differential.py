@@ -1,0 +1,87 @@
+"""Tests for the modular difference arithmetic (paper Section 2)."""
+
+import pytest
+
+from repro.encoding import (
+    decode_difference,
+    decode_sequence,
+    encode_difference,
+    encode_sequence,
+)
+from repro.encoding.differential import min_diff_width
+
+
+class TestDefinition1:
+    """The paper's modulo examples: 4 mod 3 = 1, -1 mod 3 = 2."""
+
+    def test_positive_wrap(self):
+        # difference 4 with RegN 3 behaves as 1
+        assert encode_difference(1, 0, 3) == 1
+
+    def test_negative_wraps_positive(self):
+        # from R1 to R0: -1 mod 3 = 2
+        assert encode_difference(0, 1, 3) == 2
+
+    def test_equal_registers(self):
+        assert encode_difference(5, 5, 8) == 0
+
+
+class TestPaperSection2Example:
+    """Accessing R1, R3, R8 encodes differences 2 and 5 (RegN >= 9)."""
+
+    def test_example_sequence(self):
+        assert encode_sequence([1, 3, 8], 16) == [1, 2, 5]
+
+    def test_clockwise_hops(self):
+        # Figure 1: d is the clockwise hop count
+        assert encode_difference(2, 7, 8) == 3  # 7 -> 0 -> 1 -> 2
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("regs, reg_n", [
+        ([0, 1, 2, 3], 4),
+        ([3, 2, 1, 0], 4),
+        ([5, 5, 5], 8),
+        ([11, 0, 11, 6], 12),
+        (list(range(16)) * 2, 16),
+    ])
+    def test_encode_decode_identity(self, regs, reg_n):
+        assert decode_sequence(encode_sequence(regs, reg_n), reg_n) == regs
+
+    def test_custom_initial(self):
+        diffs = encode_sequence([4, 2], 8, initial=3)
+        assert diffs == [1, 6]
+        assert decode_sequence(diffs, 8, initial=3) == [4, 2]
+
+    def test_decode_single(self):
+        assert decode_difference(2, 7, 8) == 1
+
+
+class TestRangeChecks:
+    def test_register_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode_difference(8, 0, 8)
+
+    def test_previous_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode_difference(0, 9, 8)
+
+    def test_difference_out_of_range(self):
+        with pytest.raises(ValueError):
+            decode_difference(8, 0, 8)
+
+
+class TestWidth:
+    def test_min_diff_width(self):
+        assert min_diff_width([0, 1]) == 1
+        assert min_diff_width([0, 1, 2, 3]) == 2
+        assert min_diff_width([7]) == 3
+        assert min_diff_width([]) == 1
+
+    def test_paper_figure2_width_claim(self):
+        """Figure 2: 4 registers addressed with 1-bit fields when all
+        differences are 0 or 1 — a 50% field-width reduction."""
+        seq = [0, 1, 2, 3, 3, 3, 2, 3]  # differences all 0/1 mod 4... check
+        diffs = encode_sequence([0, 1, 2, 3], 4)
+        assert set(diffs) <= {0, 1}
+        assert min_diff_width(diffs) == 1

@@ -1,0 +1,100 @@
+"""Global (cross-block) copy propagation tests."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.ir import Interpreter, parse_function, vreg
+from repro.ir.transforms import (
+    dead_code_elimination,
+    global_copy_propagation,
+)
+from repro.workloads import generate_function
+
+
+class TestGlobalCopyProp:
+    def test_copy_reaches_across_blocks(self):
+        fn = parse_function("""
+func f(v0):
+entry:
+    mov v1, v0
+    blt v0, v1, b
+a:
+    addi v2, v1, 1
+    br j
+b:
+    addi v2, v1, 2
+j:
+    add v3, v1, v2
+    ret v3
+""")
+        out, rewrites = global_copy_propagation(fn)
+        assert rewrites >= 3  # every v1 use reads v0
+        out, removed = dead_code_elimination(out)
+        assert removed == 1  # the copy itself dies
+        ref = Interpreter().run(fn, (5,)).return_value
+        assert Interpreter().run(out, (5,)).return_value == ref
+
+    def test_join_with_disagreeing_copies_blocks(self):
+        fn = parse_function("""
+func f(v0):
+entry:
+    li v9, 10
+    blt v0, v9, b
+a:
+    mov v1, v0
+    br j
+b:
+    mov v1, v9
+j:
+    addi v2, v1, 1
+    ret v2
+""")
+        out, rewrites = global_copy_propagation(fn)
+        # v1's source differs per predecessor: the use in j must keep v1
+        j_add = out.block("j").instrs[0]
+        assert vreg(1) in j_add.uses()
+        for arg in (3, 50):
+            ref = Interpreter().run(fn, (arg,)).return_value
+            assert Interpreter().run(out, (arg,)).return_value == ref
+
+    def test_redefinition_in_loop_kills_copy(self):
+        fn = parse_function("""
+func f(v0):
+entry:
+    li v1, 0
+    mov v2, v1
+loop:
+    addi v2, v2, 1
+    blt v2, v0, loop
+exit:
+    ret v2
+""")
+        out, _ = global_copy_propagation(fn)
+        ref = Interpreter().run(fn, (5,)).return_value
+        assert Interpreter().run(out, (5,)).return_value == ref
+
+    def test_source_redefined_after_copy(self):
+        fn = parse_function("""
+func f(v0):
+entry:
+    mov v1, v0
+    addi v0, v0, 100
+    br use
+use:
+    add v2, v1, v0
+    ret v2
+""")
+        out, _ = global_copy_propagation(fn)
+        ref = Interpreter().run(fn, (7,)).return_value
+        assert Interpreter().run(out, (7,)).return_value == ref
+
+    @given(seed=st.integers(min_value=0, max_value=500),
+           arg=st.integers(min_value=0, max_value=4))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_property_semantics_preserved(self, seed, arg):
+        fn = generate_function(seed, n_regions=4)
+        out, _ = global_copy_propagation(fn)
+        out, _ = dead_code_elimination(out)
+        assert (Interpreter().run(out, (arg,)).return_value
+                == Interpreter().run(fn, (arg,)).return_value)

@@ -1,0 +1,85 @@
+"""Tests for the FunctionBuilder DSL."""
+
+import pytest
+
+from repro.ir import FunctionBuilder, Interpreter
+
+
+class TestBuilder:
+    def test_vregs_are_fresh(self):
+        fb = FunctionBuilder("f")
+        a, b, c = fb.vregs(3)
+        assert len({a, b, c}) == 3
+
+    def test_params_seed_vreg_counter(self):
+        fb = FunctionBuilder("f")
+        p = fb.vreg()
+        fb2 = FunctionBuilder("g", params=(p,))
+        assert fb2.vreg() != p
+
+    def test_emit_without_block(self):
+        fb = FunctionBuilder("f")
+        with pytest.raises(ValueError, match="no current block"):
+            fb.li(fb.vreg(), 0)
+
+    def test_duplicate_block_rejected(self):
+        fb = FunctionBuilder("f")
+        fb.block("a")
+        with pytest.raises(ValueError, match="duplicate"):
+            fb.block("a")
+
+    def test_switch_to(self):
+        fb = FunctionBuilder("f")
+        v = fb.vreg()
+        fb.block("a")
+        fb.block("b")
+        fb.switch_to("a")
+        fb.li(v, 1)
+        fn_blocks = fb._blocks
+        assert len(fn_blocks[0]) == 1 and len(fn_blocks[1]) == 0
+
+    def test_switch_to_missing(self):
+        fb = FunctionBuilder("f")
+        with pytest.raises(KeyError):
+            fb.switch_to("zzz")
+
+    def test_generated_alu_helpers(self):
+        fb = FunctionBuilder("f")
+        a, b, c = fb.vregs(3)
+        fb.block("entry")
+        fb.li(a, 6)
+        fb.li(b, 7)
+        fb.mul(c, a, b)
+        fb.xori(c, c, 1)
+        fb.ret(c)
+        assert Interpreter().run(fb.build(), ()).return_value == 43
+
+    def test_unknown_helper_raises(self):
+        fb = FunctionBuilder("f")
+        with pytest.raises(AttributeError):
+            fb.quux
+
+    def test_build_validates(self):
+        fb = FunctionBuilder("f")
+        fb.block("entry")
+        fb.nop()
+        with pytest.raises(ValueError):
+            fb.build()
+
+    def test_build_without_validation(self):
+        fb = FunctionBuilder("f")
+        fb.block("entry")
+        fb.nop()
+        fn = fb.build(validate=False)
+        assert fn.num_instructions() == 1
+
+    def test_memory_helpers(self):
+        fb = FunctionBuilder("f")
+        addr, val, out = fb.vregs(3)
+        fb.block("entry")
+        fb.li(addr, 100)
+        fb.li(val, 5)
+        fb.st(val, addr, 2)
+        fb.ld(out, addr, 2)
+        fb.ret(out)
+        assert Interpreter().run(fb.build(), ()).return_value == 5

@@ -1,0 +1,125 @@
+"""Unit tests for basic blocks, functions and the CFG."""
+
+import pytest
+
+from repro.ir import BasicBlock, Function, Instr, parse_function, vreg, phys
+
+
+def block(name, *instrs):
+    return BasicBlock(name, list(instrs))
+
+
+class TestBasicBlock:
+    def test_terminator_branch(self):
+        b = block("b", Instr("br", label="x"))
+        assert b.terminator().op == "br"
+
+    def test_terminator_none_for_straightline(self):
+        b = block("b", Instr("nop"))
+        assert b.terminator() is None
+
+    def test_falls_through_conditional(self):
+        b = block("b", Instr("beq", srcs=(vreg(0), vreg(1)), label="x"))
+        assert b.falls_through()
+
+    def test_no_fall_through_after_br(self):
+        b = block("b", Instr("br", label="x"))
+        assert not b.falls_through()
+
+    def test_no_fall_through_after_ret(self):
+        b = block("b", Instr("ret", srcs=(vreg(0),)))
+        assert not b.falls_through()
+
+
+class TestCFG:
+    def test_diamond_cfg(self, diamond_fn):
+        succs, preds = diamond_fn.cfg()
+        assert succs["entry"] == ["big", "small"]
+        assert succs["big"] == ["join"]
+        assert succs["small"] == ["join"]
+        assert sorted(preds["join"]) == ["big", "small"]
+
+    def test_loop_cfg(self, sum_fn):
+        succs, _ = sum_fn.cfg()
+        assert set(succs["loop"]) == {"loop", "exit"}
+
+    def test_entry_has_no_preds(self, diamond_fn):
+        _, preds = diamond_fn.cfg()
+        assert preds["entry"] == []
+
+    def test_ret_has_no_successors(self, sum_fn):
+        succs, _ = sum_fn.cfg()
+        assert succs["exit"] == []
+
+    def test_fall_through_ordering(self, diamond_fn):
+        # fall-through successor comes first
+        entry = diamond_fn.entry
+        succ_names = [b.name for b in diamond_fn.successors(entry)]
+        assert succ_names[0] == "big"
+
+
+class TestValidation:
+    def test_branch_mid_block_rejected(self):
+        fn = Function("f", [
+            block("entry", Instr("br", label="entry"), Instr("nop")),
+        ])
+        with pytest.raises(ValueError, match="not at block end"):
+            fn.validate()
+
+    def test_unknown_target_rejected(self):
+        fn = Function("f", [block("entry", Instr("br", label="nowhere"))])
+        with pytest.raises(ValueError, match="unknown block"):
+            fn.validate()
+
+    def test_falling_off_the_end_rejected(self):
+        fn = Function("f", [block("entry", Instr("nop"))])
+        with pytest.raises(ValueError, match="falls off"):
+            fn.validate()
+
+    def test_duplicate_block_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Function("f", [block("a"), block("a")])
+
+
+class TestRegisters:
+    def test_registers_collects_everything(self, sum_fn):
+        regs = sum_fn.registers()
+        assert vreg(0) in regs and vreg(1) in regs and vreg(2) in regs
+
+    def test_max_vreg_id(self, sum_fn):
+        assert sum_fn.max_vreg_id() == 2
+
+    def test_rewrite_registers_copy_semantics(self, sum_fn):
+        out = sum_fn.rewrite_registers({vreg(0): phys(0)})
+        assert phys(0) in out.registers()
+        assert vreg(0) in sum_fn.registers()  # original untouched
+        assert out.params == (phys(0),)
+
+    def test_copy_is_deep(self, sum_fn):
+        cp = sum_fn.copy()
+        cp.blocks[0].instrs.clear()
+        assert len(sum_fn.blocks[0].instrs) == 2
+
+    def test_copy_preserves_uids(self, sum_fn):
+        uids = [i.uid for i in sum_fn.instructions()]
+        assert [i.uid for i in sum_fn.copy().instructions()] == uids
+
+
+class TestAccessors:
+    def test_block_lookup(self, sum_fn):
+        assert sum_fn.block("loop").name == "loop"
+
+    def test_block_lookup_missing(self, sum_fn):
+        with pytest.raises(KeyError):
+            sum_fn.block("nope")
+
+    def test_num_instructions(self, sum_fn):
+        assert sum_fn.num_instructions() == 6
+
+    def test_instructions_layout_order(self, sum_fn):
+        ops = [i.op for i in sum_fn.instructions()]
+        assert ops == ["li", "li", "add", "addi", "blt", "ret"]
+
+    def test_entry_of_empty_function(self):
+        with pytest.raises(ValueError):
+            Function("f", []).entry

@@ -1,0 +1,131 @@
+"""Unit tests for registers and instructions."""
+
+import pytest
+
+from repro.ir import Instr, Reg, phys, vreg
+from repro.ir.instr import BRANCH_OPS, COND_BRANCH_OPS, MEMORY_OPS, OPCODES
+
+
+class TestReg:
+    def test_str_virtual(self):
+        assert str(vreg(3)) == "v3"
+
+    def test_str_physical(self):
+        assert str(phys(7)) == "r7"
+
+    def test_str_with_class(self):
+        assert str(vreg(2, "float")) == "v2.float"
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            Reg(-1)
+
+    def test_equality_distinguishes_virtual(self):
+        assert vreg(1) != phys(1)
+
+    def test_hashable(self):
+        assert len({vreg(1), vreg(1), phys(1)}) == 2
+
+    def test_ordering_is_total(self):
+        regs = [phys(3), vreg(0), vreg(2), phys(0)]
+        assert sorted(regs) == sorted(regs, key=lambda r: (r.id, r.virtual, r.cls))
+
+
+class TestInstrConstruction:
+    def test_unknown_opcode(self):
+        with pytest.raises(ValueError, match="unknown opcode"):
+            Instr("frobnicate")
+
+    def test_wrong_arity(self):
+        with pytest.raises(ValueError, match="expects 2 sources"):
+            Instr("add", dst=vreg(0), srcs=(vreg(1),))
+
+    def test_missing_destination(self):
+        with pytest.raises(ValueError, match="requires a destination"):
+            Instr("add", srcs=(vreg(1), vreg(2)))
+
+    def test_unwanted_destination(self):
+        with pytest.raises(ValueError, match="no destination"):
+            Instr("st", dst=vreg(0), srcs=(vreg(1), vreg(2)), imm=0)
+
+    def test_uids_are_unique(self):
+        a = Instr("nop")
+        b = Instr("nop")
+        assert a.uid != b.uid
+
+    def test_copy_preserves_uid(self):
+        a = Instr("li", dst=vreg(0), imm=1)
+        assert a.copy().uid == a.uid
+
+
+class TestUsesDefs:
+    def test_alu(self):
+        i = Instr("add", dst=vreg(0), srcs=(vreg(1), vreg(2)))
+        assert i.uses() == (vreg(1), vreg(2))
+        assert i.defs() == (vreg(0),)
+
+    def test_store_has_no_defs(self):
+        i = Instr("st", srcs=(vreg(1), vreg(2)), imm=0)
+        assert i.defs() == ()
+        assert i.uses() == (vreg(1), vreg(2))
+
+    def test_li_has_no_uses(self):
+        i = Instr("li", dst=vreg(0), imm=5)
+        assert i.uses() == ()
+
+    def test_call_effects(self):
+        i = Instr("call", label="f", call_uses=(vreg(1),), call_defs=(vreg(0),))
+        assert vreg(1) in i.uses()
+        assert i.defs() == (vreg(0),)
+
+    def test_reg_fields_src_then_dst(self):
+        i = Instr("add", dst=vreg(0), srcs=(vreg(1), vreg(2)))
+        assert i.reg_fields() == (vreg(1), vreg(2), vreg(0))
+
+    def test_setlr_has_no_fields(self):
+        i = Instr("setlr", imm=(3, 0, "int"))
+        assert i.reg_fields() == ()
+
+
+class TestRewrite:
+    def test_rewrite_all_positions(self):
+        i = Instr("add", dst=vreg(0), srcs=(vreg(0), vreg(1)))
+        j = i.rewrite({vreg(0): phys(5), vreg(1): phys(6)})
+        assert j.dst == phys(5)
+        assert j.srcs == (phys(5), phys(6))
+
+    def test_rewrite_keeps_unmapped(self):
+        i = Instr("mov", dst=vreg(0), srcs=(vreg(1),))
+        j = i.rewrite({vreg(1): phys(2)})
+        assert j.dst == vreg(0)
+        assert j.srcs == (phys(2),)
+
+    def test_rewrite_does_not_mutate_original(self):
+        i = Instr("mov", dst=vreg(0), srcs=(vreg(1),))
+        i.rewrite({vreg(0): phys(9)})
+        assert i.dst == vreg(0)
+
+    def test_rewrite_call_registers(self):
+        i = Instr("call", label="f", call_uses=(vreg(1),), call_defs=(vreg(2),))
+        j = i.rewrite({vreg(1): phys(0), vreg(2): phys(1)})
+        assert j.call_uses == (phys(0),)
+        assert j.call_defs == (phys(1),)
+
+
+class TestOpcodeTables:
+    def test_branch_ops_include_ret(self):
+        assert "ret" in BRANCH_OPS
+        assert "br" in BRANCH_OPS
+
+    def test_cond_branches_are_branches(self):
+        assert COND_BRANCH_OPS < BRANCH_OPS
+
+    def test_memory_ops(self):
+        assert MEMORY_OPS == {"ld", "st", "ldslot", "stslot"}
+
+    def test_load_latency_above_alu(self):
+        assert OPCODES["ld"].latency > OPCODES["add"].latency
+
+    def test_is_move(self):
+        assert Instr("mov", dst=vreg(0), srcs=(vreg(1),)).is_move()
+        assert not Instr("li", dst=vreg(0), imm=0).is_move()

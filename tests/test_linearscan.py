@@ -1,0 +1,89 @@
+"""Linear-scan allocator tests."""
+
+import pytest
+
+from repro.ir import Interpreter, parse_function, vreg
+from repro.regalloc import check_allocation
+from repro.regalloc.linearscan import Interval, linear_scan_allocate, live_intervals
+
+from tests.conftest import make_pressure_fn
+
+
+class TestLiveIntervals:
+    def test_interval_bounds(self, sum_fn):
+        ivs = {iv.reg: iv for iv in live_intervals(sum_fn)}
+        # acc (v2): defined at index 1, used through ret (index 5)
+        assert ivs[vreg(2)].start <= 1
+        assert ivs[vreg(2)].end == 5
+
+    def test_loop_carried_spans_loop(self, sum_fn):
+        ivs = {iv.reg: iv for iv in live_intervals(sum_fn)}
+        # n (v0) is live through the whole loop though only used by blt
+        assert ivs[vreg(0)].start <= 1
+        assert ivs[vreg(0)].end >= 4
+
+    def test_sorted_by_start(self, pressure_fn):
+        ivs = live_intervals(pressure_fn)
+        starts = [iv.start for iv in ivs]
+        assert starts == sorted(starts)
+
+
+class TestLinearScan:
+    def test_no_spill_with_enough_registers(self, sum_fn):
+        res = linear_scan_allocate(sum_fn, 4)
+        assert res.n_spill_instructions == 0
+        check_allocation(res, 4)
+
+    def test_semantics_preserved(self, sum_fn):
+        res = linear_scan_allocate(sum_fn, 3)
+        assert Interpreter().run(res.fn, (10,)).return_value == 45
+
+    def test_spills_under_pressure(self, pressure_fn):
+        res = linear_scan_allocate(pressure_fn, 8)
+        assert res.n_spill_instructions > 0
+        ref = Interpreter().run(pressure_fn, (4,)).return_value
+        assert Interpreter().run(res.fn, (4,)).return_value == ref
+
+    def test_monotone_in_k(self, pressure_fn):
+        spills = [
+            linear_scan_allocate(pressure_fn, k).n_spill_instructions
+            for k in (6, 8, 12, 16)
+        ]
+        assert spills == sorted(spills, reverse=True)
+        assert spills[-1] == 0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_kernels(self, seed):
+        fn = make_pressure_fn(nvals=10, seed=seed, name=f"ls{seed}")
+        ref = Interpreter().run(fn, (5,)).return_value
+        res = linear_scan_allocate(fn, 7)
+        assert Interpreter().run(res.fn, (5,)).return_value == ref
+        check_allocation(res, 7)
+
+    def test_coloring_disjoint_for_overlaps(self, pressure_fn):
+        res = linear_scan_allocate(pressure_fn, 16)
+        ivs = {iv.reg: iv for iv in live_intervals(pressure_fn)}
+        for a, ia in ivs.items():
+            for b, ib in ivs.items():
+                if a >= b:
+                    continue
+                overlap = not (ia.end < ib.start or ib.end < ia.start)
+                if overlap and a in res.coloring and b in res.coloring:
+                    assert res.coloring[a] != res.coloring[b]
+
+    def test_invalid_k(self, sum_fn):
+        with pytest.raises(ValueError):
+            linear_scan_allocate(sum_fn, 0)
+
+
+class TestRemapAfterLinearScan:
+    def test_remapping_composes(self, pressure_fn):
+        """Section 5: 'differential remapping can follow any register
+        allocator'."""
+        from repro.regalloc import differential_remap
+
+        res = linear_scan_allocate(pressure_fn, 12)
+        remap = differential_remap(res.fn, 12, 8, restarts=10)
+        assert remap.cost_after <= remap.cost_before
+        ref = Interpreter().run(pressure_fn, (4,)).return_value
+        assert Interpreter().run(remap.fn, (4,)).return_value == ref

@@ -1,0 +1,74 @@
+"""Liveness analysis tests."""
+
+from repro.ir import parse_function, vreg
+from repro.analysis import compute_liveness
+
+
+class TestStraightLine:
+    def test_dead_after_last_use(self):
+        fn = parse_function("""
+func f():
+entry:
+    li v1, 1
+    addi v2, v1, 1
+    ret v2
+""")
+        lv = compute_liveness(fn)
+        instrs = list(fn.instructions())
+        assert vreg(1) in lv.instr_live_out[instrs[0].uid]
+        assert vreg(1) not in lv.instr_live_out[instrs[1].uid]
+
+    def test_param_live_at_entry(self, sum_fn):
+        lv = compute_liveness(sum_fn)
+        assert vreg(0) in lv.live_in["entry"]
+
+
+class TestLoops:
+    def test_loop_carried_values_live_around_backedge(self, sum_fn):
+        lv = compute_liveness(sum_fn)
+        # acc (v2) and i (v1) and n (v0) all live at loop entry
+        assert lv.live_in["loop"] >= {vreg(0), vreg(1), vreg(2)}
+
+    def test_live_out_of_loop_is_return_value(self, sum_fn):
+        lv = compute_liveness(sum_fn)
+        assert lv.live_in["exit"] == frozenset({vreg(2)})
+
+    def test_block_use_def(self, sum_fn):
+        lv = compute_liveness(sum_fn)
+        assert vreg(2) in lv.defs["entry"]
+        assert vreg(0) in lv.use["loop"]
+
+
+class TestDiamond:
+    def test_both_arms_kill(self, diamond_fn):
+        lv = compute_liveness(diamond_fn)
+        # v0 used in both arms, dead at join
+        assert vreg(0) not in lv.live_in["join"]
+        assert vreg(2) in lv.live_in["join"]
+
+    def test_condition_value_dead_after_branch(self, diamond_fn):
+        lv = compute_liveness(diamond_fn)
+        assert vreg(1) not in lv.live_in["big"]
+        assert vreg(1) not in lv.live_in["small"]
+
+
+class TestMaxPressure:
+    def test_pressure_matches_structure(self, sum_fn):
+        lv = compute_liveness(sum_fn)
+        assert lv.max_pressure() == 3  # n, i, acc
+
+    def test_pressure_counts_only_requested_class(self):
+        fn = parse_function("""
+func f():
+entry:
+    li v1, 1
+    mov v2.float, v3.float
+    add v4, v1, v1
+    ret v4
+""")
+        lv = compute_liveness(fn)
+        assert lv.max_pressure("int") <= 2
+
+    def test_high_pressure_kernel(self, pressure_fn):
+        lv = compute_liveness(pressure_fn)
+        assert lv.max_pressure() >= 14

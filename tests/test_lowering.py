@@ -1,0 +1,118 @@
+"""Two-address lowering and THUMB-style encoding tests."""
+
+import pytest
+
+from repro.encoding import (
+    EncodingConfig,
+    access_fields,
+    encode_function,
+    pack_function,
+    unpack_function,
+    verify_encoding,
+)
+from repro.ir import Instr, Interpreter, format_function, parse_function, vreg
+from repro.ir.lowering import is_two_address, to_two_address
+from repro.regalloc import iterated_allocate
+from repro.workloads import MIBENCH
+
+
+class TestLoweringPass:
+    def test_copy_inserted(self):
+        fn = parse_function("""
+func f(v0):
+entry:
+    li v1, 2
+    add v2, v0, v1
+    ret v2
+""")
+        out, copies = to_two_address(fn)
+        assert copies == 1
+        assert is_two_address(out)
+        ops = [i.op for i in out.instructions()]
+        assert ops == ["li", "mov", "add", "ret"]
+
+    def test_already_two_address_untouched(self):
+        fn = parse_function("""
+func f(v0):
+entry:
+    addi v1, v0, 1
+    add v1, v1, v0
+    ret v1
+""")
+        out, copies = to_two_address(fn)
+        assert copies == 0
+        assert out.num_instructions() == fn.num_instructions()
+
+    def test_commutative_swap_avoids_copy(self):
+        fn = parse_function("""
+func f(v0):
+entry:
+    li v1, 3
+    add v1, v0, v1
+    ret v1
+""")
+        out, copies = to_two_address(fn)
+        assert copies == 0
+        add = next(i for i in out.instructions() if i.op == "add")
+        assert add.dst == add.srcs[0]
+
+    def test_noncommutative_dst_eq_src2_kept(self):
+        fn = parse_function("""
+func f(v0):
+entry:
+    li v1, 3
+    sub v1, v0, v1
+    ret v1
+""")
+        out, copies = to_two_address(fn)
+        assert copies == 0  # stays three-address rather than clobber v1
+        ref = Interpreter().run(fn, (10,)).return_value
+        assert Interpreter().run(out, (10,)).return_value == ref
+
+    @pytest.mark.parametrize("w", MIBENCH[:6], ids=lambda w: w.name)
+    def test_semantics_preserved_on_kernels(self, w):
+        fn = w.function()
+        ref = Interpreter().run(fn, w.default_args).return_value
+        out, _ = to_two_address(fn)
+        assert Interpreter().run(out, w.default_args).return_value == ref
+
+
+class TestTwoAddressAccessOrder:
+    def test_merged_field_for_two_address_alu(self):
+        i = Instr("add", dst=vreg(1), srcs=(vreg(1), vreg(2)))
+        assert access_fields(i, "two_address") == (vreg(1), vreg(2))
+
+    def test_three_address_falls_back(self):
+        i = Instr("add", dst=vreg(3), srcs=(vreg(1), vreg(2)))
+        assert access_fields(i, "two_address") == (vreg(1), vreg(2), vreg(3))
+
+    def test_non_alu_unchanged(self):
+        i = Instr("st", srcs=(vreg(1), vreg(2)), imm=0)
+        assert access_fields(i, "two_address") == (vreg(1), vreg(2))
+
+
+class TestTwoAddressEncoding:
+    def lowered_kernel(self, name="crc32"):
+        from repro.workloads import get_workload
+        fn, _ = to_two_address(get_workload(name).function())
+        return iterated_allocate(fn, 12).fn
+
+    def test_encode_verify_two_address(self):
+        fn = self.lowered_kernel()
+        cfg = EncodingConfig(reg_n=12, diff_n=8, access_order="two_address")
+        enc = encode_function(fn, cfg)
+        verify_encoding(enc)
+
+    def test_binary_roundtrip_two_address(self):
+        fn = self.lowered_kernel()
+        cfg = EncodingConfig(reg_n=12, diff_n=8, access_order="two_address")
+        enc = encode_function(fn, cfg)
+        packed = pack_function(enc)
+        assert format_function(unpack_function(packed)) == format_function(fn)
+
+    def test_fewer_fields_than_three_address(self):
+        fn = self.lowered_kernel()
+        from repro.encoding import access_sequence
+        two = len(access_sequence(fn, "two_address"))
+        three = len(access_sequence(fn, "src_first"))
+        assert two < three

@@ -1,0 +1,86 @@
+"""Multi-class register allocation tests (paper Section 9.1)."""
+
+import pytest
+
+from repro.encoding import EncodingConfig, encode_function, verify_encoding
+from repro.ir import FunctionBuilder, Instr, Interpreter
+from repro.regalloc import DifferentialSelector, allocate_classes
+from repro.regalloc.multiclass import MultiClassResult
+
+
+def mixed_kernel(n_int=6, n_float=5):
+    fb = FunctionBuilder("mixed")
+    n = fb.vreg()
+    fb.params = (n,)
+    fb.block("entry")
+    ints = fb.vregs(n_int)
+    floats = [fb.vreg("float") for _ in range(n_float)]
+    for i, v in enumerate(ints):
+        fb.li(v, i + 1)
+    for i, v in enumerate(floats):
+        fb.emit(Instr("li", dst=v, imm=10 * (i + 1)))
+    fb.block("loop")
+    fb.add(ints[0], ints[1], ints[2])
+    fb.emit(Instr("add", dst=floats[0], srcs=(floats[1], floats[2])))
+    fb.emit(Instr("mul", dst=floats[3], srcs=(floats[0], floats[4])))
+    fb.add(ints[3], ints[0], ints[4])
+    fb.addi(ints[5], ints[5], 1)
+    fb.blt(ints[5], n, "loop")
+    fb.block("exit")
+    out = fb.vreg()
+    fb.add(out, ints[3], ints[0])
+    fb.ret(out)
+    return fb.build()
+
+
+class TestAllocateClasses:
+    def test_all_classes_allocated(self):
+        fn = mixed_kernel()
+        res = allocate_classes(fn, {"int": 8, "float": 8})
+        assert set(res.per_class) == {"int", "float"}
+        assert all(not r.virtual for r in res.fn.registers())
+
+    def test_budgets_respected_per_class(self):
+        fn = mixed_kernel()
+        res = allocate_classes(fn, {"int": 6, "float": 4})
+        for r in res.fn.registers():
+            limit = 6 if r.cls == "int" else 4
+            assert r.id < limit
+
+    def test_semantics_preserved(self):
+        fn = mixed_kernel()
+        ref = Interpreter().run(fn, (9,)).return_value
+        res = allocate_classes(fn, {"int": 5, "float": 3})
+        assert Interpreter().run(res.fn, (9,)).return_value == ref
+
+    def test_missing_budget_rejected(self):
+        fn = mixed_kernel()
+        with pytest.raises(ValueError, match="float"):
+            allocate_classes(fn, {"int": 8})
+
+    def test_spills_counted_across_classes(self):
+        fn = mixed_kernel()
+        res = allocate_classes(fn, {"int": 4, "float": 3})
+        assert isinstance(res, MultiClassResult)
+        assert res.n_spill_instructions > 0
+
+    def test_per_class_selectors(self):
+        fn = mixed_kernel()
+        selectors = {}
+
+        def factory(cls):
+            selectors[cls] = DifferentialSelector(12, 8)
+            return selectors[cls]
+
+        res = allocate_classes(fn, {"int": 12, "float": 12},
+                               selector_factory=factory)
+        assert set(selectors) == {"int", "float"}
+        ref = Interpreter().run(fn, (5,)).return_value
+        assert Interpreter().run(res.fn, (5,)).return_value == ref
+
+    def test_encodes_with_per_class_state(self):
+        fn = mixed_kernel()
+        res = allocate_classes(fn, {"int": 8, "float": 8})
+        cfg = EncodingConfig(reg_n=8, diff_n=4, classes=("int", "float"))
+        enc = encode_function(res.fn, cfg)
+        verify_encoding(enc)

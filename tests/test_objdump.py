@@ -1,0 +1,79 @@
+"""Disassembler tests."""
+
+import re
+
+from repro.encoding import EncodingConfig, encode_function, pack_function
+from repro.encoding.objdump import disassemble
+from repro.ir import parse_function
+from repro.regalloc import iterated_allocate
+from repro.workloads import get_workload
+
+
+def packed_demo(reg_n=12, diff_n=8):
+    fn = parse_function("""
+func demo():
+entry:
+    add r1, r0, r1
+    add r9, r1, r9
+    blt r9, r1, entry
+exit:
+    ret r9
+""")
+    return fn, pack_function(
+        encode_function(fn, EncodingConfig(reg_n=reg_n, diff_n=diff_n))
+    )
+
+
+class TestDisassemble:
+    def test_header_and_anchors(self):
+        _, packed = packed_demo()
+        text = disassemble(packed)
+        assert "RegN=12 DiffN=8" in text
+        assert "entry last_reg int=r0" in text
+
+    def test_every_instruction_listed(self):
+        fn, packed = packed_demo()
+        text = disassemble(packed)
+        for mnemonic in ("add r1, r0, r1", "add r9, r1, r9",
+                         "blt r9, r1, entry", "ret r9"):
+            assert mnemonic in text
+
+    def test_setlr_marked(self):
+        _, packed = packed_demo()
+        text = disassemble(packed)
+        assert "dies at decode" in text
+
+    def test_offsets_monotone(self):
+        _, packed = packed_demo()
+        offsets = [
+            int(m.group(1))
+            for m in re.finditer(r"^\s+(\d+):", disassemble(packed),
+                                 re.MULTILINE)
+        ]
+        assert offsets == sorted(offsets)
+        assert offsets[0] == 0
+
+    def test_kernel_disassembles(self):
+        fn = iterated_allocate(get_workload("susan").function(), 12).fn
+        packed = pack_function(
+            encode_function(fn, EncodingConfig(reg_n=12, diff_n=8))
+        )
+        text = disassemble(packed)
+        assert text.count("\n") > fn.num_instructions()
+
+    def test_direct_diffn_still_needs_join_repairs_on_loops(self):
+        """diff_n == reg_n kills out-of-range repairs, but decode stays
+        *relative*: a loop's back edge can still disagree with the entry
+        state, so join repairs legitimately survive."""
+        fn, _ = packed_demo()
+        enc = encode_function(fn, EncodingConfig.direct(12))
+        assert enc.n_setlr_inline == 0
+        text = disassemble(pack_function(enc))
+        assert text.count("dies at decode") == enc.n_setlr_join
+
+    def test_direct_straightline_shows_no_repairs(self):
+        fn = parse_function(
+            "func f():\nentry:\n    add r1, r0, r9\n    ret r1\n"
+        )
+        enc = encode_function(fn, EncodingConfig.direct(12))
+        assert "dies at decode" not in disassemble(pack_function(enc))

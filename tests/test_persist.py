@@ -1,0 +1,82 @@
+"""Experiment persistence tests."""
+
+import pytest
+
+from repro.experiments import run_lowend_experiment, run_swp_experiment
+from repro.experiments.persist import (
+    lowend_from_json,
+    lowend_to_json,
+    swp_from_json,
+    swp_to_json,
+)
+from repro.workloads import MIBENCH
+from repro.workloads.spec_loops import generate_loop_population
+
+
+@pytest.fixture(scope="module")
+def lowend():
+    return run_lowend_experiment(workloads=MIBENCH[:2], remap_restarts=3)
+
+
+@pytest.fixture(scope="module")
+def swp():
+    pop = generate_loop_population(n=15, seed=4)
+    return run_swp_experiment(population=pop, remap_restarts=1)
+
+
+class TestLowEndPersistence:
+    def test_roundtrip_preserves_rows(self, lowend):
+        restored = lowend_from_json(lowend_to_json(lowend))
+        assert len(restored.rows) == len(lowend.rows)
+        for a, b in zip(restored.rows, lowend.rows):
+            assert a == b
+
+    def test_figures_render_from_restored(self, lowend):
+        restored = lowend_from_json(lowend_to_json(lowend))
+        assert restored.fig11_spills().render() == \
+            lowend.fig11_spills().render()
+        assert restored.fig14_speedup().render() == \
+            lowend.fig14_speedup().render()
+
+    def test_wrong_kind_rejected(self, lowend, swp):
+        with pytest.raises(ValueError, match="not a low-end"):
+            lowend_from_json(swp_to_json(swp))
+
+
+class TestSwpPersistence:
+    def test_roundtrip_preserves_tables(self, swp):
+        restored = swp_from_json(swp_to_json(swp))
+        assert restored.table2_speedup().render() == \
+            swp.table2_speedup().render()
+        assert restored.table3_code_growth().render() == \
+            swp.table3_code_growth().render()
+
+    def test_integer_keys_restored(self, swp):
+        restored = swp_from_json(swp_to_json(swp))
+        for loop in restored.loops:
+            assert all(isinstance(k, int) for k in loop.cycles)
+
+    def test_wrong_kind_rejected(self, swp, lowend):
+        with pytest.raises(ValueError, match="not an SWP"):
+            swp_from_json(lowend_to_json(lowend))
+
+    def test_version_checked(self, swp):
+        import json
+        data = json.loads(swp_to_json(swp))
+        data["format"] = 999
+        with pytest.raises(ValueError, match="version"):
+            swp_from_json(json.dumps(data))
+
+
+class TestDeterminism:
+    def test_lowend_experiment_deterministic(self):
+        a = run_lowend_experiment(workloads=MIBENCH[:2], remap_restarts=3)
+        b = run_lowend_experiment(workloads=MIBENCH[:2], remap_restarts=3)
+        assert lowend_to_json(a) == lowend_to_json(b)
+
+    def test_swp_experiment_deterministic(self):
+        pop = generate_loop_population(n=10, seed=9)
+        a = run_swp_experiment(population=pop, remap_restarts=1)
+        pop2 = generate_loop_population(n=10, seed=9)
+        b = run_swp_experiment(population=pop2, remap_restarts=1)
+        assert swp_to_json(a) == swp_to_json(b)

@@ -1,0 +1,72 @@
+"""End-to-end setup pipeline tests (the five Section 10.1 configurations)."""
+
+import pytest
+
+from repro.ir import Interpreter
+from repro.regalloc import SETUPS, run_setup
+
+from tests.conftest import make_pressure_fn
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    return make_pressure_fn(seed=1)
+
+
+@pytest.fixture(scope="module")
+def reference(kernel):
+    return Interpreter().run(kernel, (4,)).return_value
+
+
+@pytest.mark.parametrize("setup", SETUPS)
+class TestEachSetup:
+    def test_semantics_preserved(self, kernel, reference, setup):
+        prog = run_setup(kernel, setup)
+        assert Interpreter().run(prog.final_fn, (4,)).return_value == reference
+
+    def test_metrics_consistent(self, kernel, setup):
+        prog = run_setup(kernel, setup)
+        m = prog.metrics()
+        assert m["instructions"] == prog.final_fn.num_instructions()
+        assert 0.0 <= m["spill_fraction"] <= 1.0
+        assert 0.0 <= m["setlr_fraction"] <= 1.0
+
+    def test_register_budget_respected(self, kernel, setup):
+        prog = run_setup(kernel, setup)
+        limit = 8 if setup in ("baseline", "ospill") else 12
+        used = {
+            r.id for r in prog.final_fn.registers() if not r.virtual
+        }
+        assert max(used) < limit
+
+
+class TestSetupRelations:
+    def test_differential_setups_have_setlr(self, kernel):
+        for setup in ("remapping", "select", "coalesce"):
+            prog = run_setup(kernel, setup)
+            assert prog.encoded is not None
+            assert prog.n_setlr > 0  # this kernel is dense enough
+
+    def test_direct_setups_have_none(self, kernel):
+        for setup in ("baseline", "ospill"):
+            prog = run_setup(kernel, setup)
+            assert prog.encoded is None
+            assert prog.n_setlr == 0
+
+    def test_differential_setups_spill_less(self, kernel):
+        base = run_setup(kernel, "baseline").n_spills
+        for setup in ("remapping", "select", "coalesce"):
+            assert run_setup(kernel, setup).n_spills < base
+
+    def test_unknown_setup(self, kernel):
+        with pytest.raises(ValueError, match="unknown setup"):
+            run_setup(kernel, "magic")
+
+    def test_access_order_parameter(self, kernel, reference):
+        prog = run_setup(kernel, "select", access_order="dst_first")
+        assert Interpreter().run(prog.final_fn, (4,)).return_value == reference
+
+    def test_explicit_frequency(self, kernel, reference):
+        freq = {b.name: 2.0 for b in kernel.blocks}
+        prog = run_setup(kernel, "remapping", freq=freq)
+        assert Interpreter().run(prog.final_fn, (4,)).return_value == reference

@@ -1,0 +1,94 @@
+"""Tests for pressure regions and selective enabling (paper Section 8.2)."""
+
+import pytest
+
+from repro.analysis import block_pressure, loop_pressure_regions
+from repro.ir import Interpreter
+from repro.regalloc import run_selective
+from repro.workloads import get_workload
+
+from tests.conftest import make_pressure_fn
+
+
+class TestBlockPressure:
+    def test_simple_loop(self, sum_fn):
+        p = block_pressure(sum_fn)
+        assert p["loop"] == 3
+
+    def test_pressure_kernel_hotspot(self, pressure_fn):
+        p = block_pressure(pressure_fn)
+        assert p["loop"] >= 14
+        assert p["loop"] > p["exit"]
+
+
+class TestLoopRegions:
+    def test_region_found(self, sum_fn):
+        regions = loop_pressure_regions(sum_fn)
+        assert len(regions) == 1
+        assert regions[0].header == "loop"
+        assert regions[0].max_pressure == 3
+        assert not regions[0].exceeds(8)
+
+    def test_high_pressure_region_flagged(self, pressure_fn):
+        regions = loop_pressure_regions(pressure_fn)
+        assert regions[0].exceeds(8)
+
+    def test_sorted_hottest_first(self):
+        fn = get_workload("sha").function()
+        regions = loop_pressure_regions(fn)
+        pressures = [r.max_pressure for r in regions]
+        assert pressures == sorted(pressures, reverse=True)
+
+    def test_no_loops_no_regions(self, diamond_fn):
+        assert loop_pressure_regions(diamond_fn) == []
+
+
+class TestSelectiveEnabling:
+    def test_low_pressure_function_stays_direct(self, sum_fn):
+        result = run_selective(sum_fn)
+        assert result.mode == "direct"
+        assert result.program.n_setlr == 0
+        assert result.toggle_instructions == 0
+
+    def test_high_pressure_function_goes_differential(self, pressure_fn):
+        result = run_selective(pressure_fn)
+        assert result.mode == "differential"
+        assert result.differential_cost < result.direct_cost
+        assert result.toggle_instructions == 2
+
+    def test_semantics_preserved_either_way(self, pressure_fn, sum_fn):
+        for fn, args, expected in [
+            (pressure_fn, (4,), None),
+            (sum_fn, (10,), 45),
+        ]:
+            ref = expected if expected is not None else \
+                Interpreter().run(fn, args).return_value
+            result = run_selective(fn)
+            got = Interpreter().run(result.program.final_fn, args).return_value
+            assert got == ref
+
+    def test_spill_cost_weight_flips_decision(self, pressure_fn):
+        # with spills declared nearly free, differential loses its edge
+        cheap = run_selective(pressure_fn, spill_cost=0.01, setlr_cost=10.0)
+        costly = run_selective(pressure_fn, spill_cost=10.0, setlr_cost=0.1)
+        assert costly.mode == "differential"
+        assert cheap.mode == "direct"
+
+    @pytest.mark.parametrize("name, expected_mode", [
+        ("bitcount", "direct"),       # fits 8 registers: don't pay toggles
+        ("sha", "differential"),      # heavy pressure: differential wins
+    ])
+    def test_benchmark_decisions(self, name, expected_mode):
+        fn = get_workload(name).function()
+        result = run_selective(fn, remap_restarts=10)
+        assert result.mode == expected_mode
+
+    def test_never_worse_than_both_options(self):
+        """Selective always returns min(direct, differential) by its own
+        cost model."""
+        for seed in range(3):
+            fn = make_pressure_fn(nvals=10, seed=seed, name=f"sel{seed}")
+            r = run_selective(fn, remap_restarts=5)
+            chosen = min(r.direct_cost, r.differential_cost)
+            assert (r.differential_cost if r.chose_differential
+                    else r.direct_cost) == chosen

@@ -1,0 +1,25 @@
+"""Profile-guided frequency tests."""
+
+from repro.analysis.profile import profile_block_frequencies
+from repro.workloads import get_workload
+
+
+class TestProfile:
+    def test_entry_normalised_to_one(self, sum_fn):
+        freq = profile_block_frequencies(sum_fn, (10,))
+        assert freq["entry"] == 1.0
+
+    def test_loop_frequency_matches_trip_count(self, sum_fn):
+        freq = profile_block_frequencies(sum_fn, (10,))
+        assert freq["loop"] == 10.0
+        assert freq["exit"] == 1.0
+
+    def test_untaken_arm_frequency_zero(self, diamond_fn):
+        freq = profile_block_frequencies(diamond_fn, (3,))
+        assert freq["small"] == 1.0
+        assert freq["big"] == 0.0
+
+    def test_nested_loops(self):
+        w = get_workload("sha")
+        freq = profile_block_frequencies(w.function(), (4,))
+        assert freq["round"] > freq["block_loop"] > 0

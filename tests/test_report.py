@@ -1,0 +1,54 @@
+"""Combined-report generator tests."""
+
+import pytest
+
+from repro.experiments import generate_report
+from repro.workloads import MIBENCH
+
+
+@pytest.fixture(scope="module")
+def report():
+    return generate_report(workloads=MIBENCH[:2], n_loops=12,
+                           remap_restarts=2, include_sweep=False,
+                           include_alternatives=False)
+
+
+class TestReport:
+    def test_contains_both_studies(self, report):
+        assert "Figure 11" in report
+        assert "Figure 14" in report
+        assert "Table 2" in report
+        assert "Table 3" in report
+
+    def test_contains_paper_reference_values(self, report):
+        assert "10.44" in report  # the paper's Figure 11 baseline average
+        assert "17.24" in report  # the paper's Table 2 endpoint
+
+    def test_deterministic(self):
+        import re
+
+        def normalize(text):
+            return re.sub(r"generated in \d+s", "generated in Xs", text)
+
+        a = generate_report(workloads=MIBENCH[:1], n_loops=6,
+                            remap_restarts=2, include_sweep=False,
+                            include_alternatives=False)
+        b = generate_report(workloads=MIBENCH[:1], n_loops=6,
+                            remap_restarts=2, include_sweep=False,
+                            include_alternatives=False)
+        assert normalize(a) == normalize(b)
+
+    def test_cli_report_to_file(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+        import repro.experiments.report as report_mod
+
+        def tiny_report(**kw):
+            return "tiny"
+
+        monkeypatch.setattr(report_mod, "generate_report", tiny_report)
+        # the CLI imports the symbol lazily from the module, so the patch
+        # takes effect
+        out = tmp_path / "results.md"
+        assert main(["report", "--out", str(out), "--loops", "6",
+                     "--restarts", "2"]) == 0
+        assert out.read_text().strip() == "tiny"

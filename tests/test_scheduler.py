@@ -1,0 +1,92 @@
+"""Local list-scheduler tests, including the Section 9.5 composition."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.encoding import EncodingConfig, encode_function, verify_encoding
+from repro.ir import Interpreter, parse_function
+from repro.ir.scheduler import list_schedule
+from repro.regalloc import differential_remap, iterated_allocate
+from repro.workloads import MIBENCH, generate_function
+
+
+class TestScheduling:
+    def test_independent_long_op_hoisted(self):
+        fn = parse_function("""
+func f():
+entry:
+    li v1, 1
+    addi v2, v1, 1
+    li v3, 7
+    mul v4, v3, v3
+    add v5, v4, v2
+    ret v5
+""")
+        out, moved = list_schedule(fn)
+        assert Interpreter().run(out, ()).return_value == \
+            Interpreter().run(fn, ()).return_value
+        ops = [i.op for i in out.entry.instrs]
+        # the mul chain (higher latency) is prioritised
+        assert ops.index("mul") <= 3
+
+    def test_memory_order_preserved(self):
+        fn = parse_function("""
+func f():
+entry:
+    li v1, 64
+    li v2, 1
+    li v3, 2
+    st v2, [v1+0]
+    st v3, [v1+0]
+    ld v4, [v1+0]
+    ret v4
+""")
+        out, _ = list_schedule(fn)
+        assert Interpreter().run(out, ()).return_value == 2
+
+    def test_terminator_stays_last(self, sum_fn):
+        out, _ = list_schedule(sum_fn)
+        out.validate()
+        for block in out.blocks:
+            for instr in block.instrs[:-1]:
+                assert instr.op not in ("br", "ret", "blt", "beq")
+
+    @pytest.mark.parametrize("w", MIBENCH[:6], ids=lambda w: w.name)
+    def test_kernels_semantics_preserved(self, w):
+        fn = w.function()
+        ref = Interpreter().run(fn, w.default_args).return_value
+        out, _ = list_schedule(fn)
+        assert Interpreter().run(out, w.default_args).return_value == ref
+
+    @given(seed=st.integers(min_value=0, max_value=400),
+           arg=st.integers(min_value=0, max_value=3))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_property_semantics(self, seed, arg):
+        fn = generate_function(seed, n_regions=3, with_memory=True)
+        out, _ = list_schedule(fn)
+        assert (Interpreter().run(out, (arg,)).return_value
+                == Interpreter().run(fn, (arg,)).return_value)
+
+
+class TestSection95Composition:
+    def test_schedule_then_allocate_then_encode(self):
+        """Scheduling before allocation: approaches 2/3 are unaffected."""
+        w = MIBENCH[4]  # sha
+        fn, _ = list_schedule(w.function())
+        res = iterated_allocate(fn, 12)
+        enc = encode_function(res.fn, EncodingConfig(reg_n=12, diff_n=8))
+        verify_encoding(enc)
+        ref = Interpreter().run(w.function(), w.default_args).return_value
+        assert Interpreter().run(enc.fn, w.default_args).return_value == ref
+
+    def test_allocate_then_schedule_then_remap(self):
+        """Remapping is a post-pass: it applies after scheduling too."""
+        w = MIBENCH[4]
+        res = iterated_allocate(w.function(), 12)
+        scheduled, _ = list_schedule(res.fn)
+        remap = differential_remap(scheduled, 12, 8, restarts=10)
+        enc = encode_function(remap.fn, EncodingConfig(reg_n=12, diff_n=8))
+        verify_encoding(enc)
+        ref = Interpreter().run(w.function(), w.default_args).return_value
+        assert Interpreter().run(enc.fn, w.default_args).return_value == ref

@@ -1,0 +1,87 @@
+"""Spill-slot coalescing tests."""
+
+import pytest
+
+from repro.ir import Interpreter, parse_function
+from repro.regalloc import iterated_allocate
+from repro.regalloc.slotalloc import coalesce_spill_slots
+
+from tests.conftest import make_pressure_fn
+
+
+class TestSlotCoalescing:
+    def test_disjoint_lifetimes_share(self):
+        fn = parse_function("""
+func f(r0):
+entry:
+    stslot r0, slot0
+    ldslot r1, slot0
+    addi r1, r1, 1
+    stslot r1, slot1
+    ldslot r2, slot1
+    ret r2
+""")
+        out, before, after = coalesce_spill_slots(fn)
+        assert before == 2 and after == 1
+        assert Interpreter().run(out, (5,)).return_value == 6
+
+    def test_overlapping_lifetimes_kept_apart(self):
+        fn = parse_function("""
+func f(r0):
+entry:
+    stslot r0, slot0
+    addi r1, r0, 1
+    stslot r1, slot1
+    ldslot r2, slot0
+    ldslot r3, slot1
+    add r4, r2, r3
+    ret r4
+""")
+        out, before, after = coalesce_spill_slots(fn)
+        assert before == 2 and after == 2
+        assert Interpreter().run(out, (5,)).return_value == 11
+
+    def test_loop_carried_slot_preserved(self):
+        fn = parse_function("""
+func f(r0):
+entry:
+    li r1, 0
+    stslot r1, slot0
+loop:
+    ldslot r1, slot0
+    addi r1, r1, 1
+    stslot r1, slot0
+    stslot r1, slot1
+    ldslot r2, slot1
+    blt r2, r0, loop
+exit:
+    ldslot r3, slot0
+    ret r3
+""")
+        out, before, after = coalesce_spill_slots(fn)
+        # slot0 is live around the back edge while slot1 is written:
+        # they must not merge
+        assert after == 2
+        ref = Interpreter().run(fn, (4,)).return_value
+        assert Interpreter().run(out, (4,)).return_value == ref
+
+    def test_no_spills_noop(self, sum_fn):
+        out, before, after = coalesce_spill_slots(sum_fn)
+        assert (before, after) == (0, 0)
+        assert out is sum_fn
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_allocated_kernels_semantics_and_frame(self, seed):
+        fn = make_pressure_fn(nvals=14, seed=seed, name=f"sc{seed}")
+        allocated = iterated_allocate(fn, 8).fn
+        out, before, after = coalesce_spill_slots(allocated)
+        assert after <= before
+        ref = Interpreter().run(allocated, (4,)).return_value
+        assert Interpreter().run(out, (4,)).return_value == ref
+
+    def test_real_reduction_on_pressure_kernel(self):
+        fn = make_pressure_fn(nvals=16, seed=9, name="frame")
+        allocated = iterated_allocate(fn, 6).fn
+        out, before, after = coalesce_spill_slots(allocated)
+        assert before > 4
+        assert after < before  # disjoint spill regions must exist

@@ -1,0 +1,77 @@
+"""Spill-code insertion tests."""
+
+from repro.analysis import compute_liveness
+from repro.ir import Interpreter, parse_function, vreg
+from repro.regalloc.spill import SpillSlotAllocator, first_free_slot, insert_spill_code
+
+
+class TestInsertSpillCode:
+    def test_use_gets_reload(self, sum_fn):
+        slots = SpillSlotAllocator()
+        out, _, temps = insert_spill_code(sum_fn, [vreg(2)], slots, 10)
+        ops = [i.op for i in out.instructions()]
+        assert "ldslot" in ops and "stslot" in ops
+        assert temps  # fresh reload temporaries created
+
+    def test_semantics_preserved(self, sum_fn):
+        slots = SpillSlotAllocator()
+        out, _, _ = insert_spill_code(sum_fn, [vreg(1), vreg(2)], slots, 10)
+        assert Interpreter().run(out, (10,)).return_value == 45
+
+    def test_spilled_param_stored_on_entry(self, sum_fn):
+        slots = SpillSlotAllocator()
+        out, _, _ = insert_spill_code(sum_fn, [vreg(0)], slots, 10)
+        assert out.entry.instrs[0].op == "stslot"
+        assert out.entry.instrs[0].srcs == (vreg(0),)
+        assert Interpreter().run(out, (7,)).return_value == 21
+
+    def test_pressure_reduced(self, pressure_fn):
+        lv_before = compute_liveness(pressure_fn).max_pressure()
+        victims = sorted(pressure_fn.registers())[1:7]
+        slots = SpillSlotAllocator()
+        out, _, _ = insert_spill_code(
+            pressure_fn, victims, slots, pressure_fn.max_vreg_id() + 1
+        )
+        lv_after = compute_liveness(out).max_pressure()
+        assert lv_after < lv_before
+        ref = Interpreter().run(pressure_fn, (3,)).return_value
+        assert Interpreter().run(out, (3,)).return_value == ref
+
+    def test_noop_for_empty_spill_set(self, sum_fn):
+        slots = SpillSlotAllocator()
+        out, nxt, temps = insert_spill_code(sum_fn, [], slots, 10)
+        assert out is sum_fn and temps == set() and nxt == 10
+
+    def test_use_and_def_share_temp(self):
+        fn = parse_function("""
+func f(v0):
+entry:
+    addi v0, v0, 1
+    ret v0
+""")
+        slots = SpillSlotAllocator()
+        out, _, _ = insert_spill_code(fn, [vreg(0)], slots, 5)
+        # one reload before, one store after
+        ops = [i.op for i in out.entry.instrs]
+        assert ops[:2] == ["stslot", "ldslot"]  # param store, then reload
+        assert Interpreter().run(out, (4,)).return_value == 5
+
+
+class TestSlots:
+    def test_one_slot_per_register(self):
+        s = SpillSlotAllocator()
+        a, b = vreg(1), vreg(2)
+        assert s.slot_for(a) == 0
+        assert s.slot_for(b) == 1
+        assert s.slot_for(a) == 0
+        assert s.n_slots == 2
+
+    def test_first_slot_offset(self):
+        s = SpillSlotAllocator(first_slot=5)
+        assert s.slot_for(vreg(1)) == 5
+
+    def test_first_free_slot(self, sum_fn):
+        assert first_free_slot(sum_fn) == 0
+        slots = SpillSlotAllocator()
+        out, _, _ = insert_spill_code(sum_fn, [vreg(1), vreg(2)], slots, 10)
+        assert first_free_slot(out) == 2

@@ -1,0 +1,36 @@
+"""RegN sweep experiment unit tests (small configuration)."""
+
+import pytest
+
+from repro.experiments import run_regn_sweep
+from repro.workloads import MIBENCH
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_regn_sweep(MIBENCH[:3], reg_ns=(8, 12, 16),
+                          remap_restarts=3)
+
+
+class TestRegNSweep:
+    def test_baseline_point_normalised(self, sweep):
+        base = next(p for p in sweep.points if p.reg_n == 8)
+        assert base.relative_cycles == 1.0
+        assert base.relative_energy == 1.0
+        assert base.setlr_fraction == 0.0
+
+    def test_spills_fall_with_registers(self, sweep):
+        spills = [p.spill_fraction for p in sweep.points]
+        assert spills == sorted(spills, reverse=True)
+
+    def test_cost_rises_with_registers(self, sweep):
+        costs = [p.setlr_fraction for p in sweep.points]
+        assert costs == sorted(costs)
+
+    def test_table_renders(self, sweep):
+        text = sweep.table().render()
+        assert "RegN sweep" in text
+        assert "cycles vs direct-8" in text
+
+    def test_best_reg_n_valid(self, sweep):
+        assert sweep.best_reg_n() in (8, 12, 16)

@@ -1,0 +1,86 @@
+"""Pipelined-loop code generation tests."""
+
+import pytest
+
+from repro.swp import allocate_kernel, encode_kernel
+from repro.swp.codegen import generate_pipelined_loop
+from repro.workloads.spec_loops import generate_loop
+
+
+@pytest.fixture(scope="module")
+def alloc():
+    # seed 202 schedules with an MVE unroll factor of 2 at 48 registers,
+    # exercising the renaming path
+    return allocate_kernel(generate_loop(202, big=True).ddg, 48)
+
+
+@pytest.fixture(scope="module")
+def loop(alloc):
+    return generate_pipelined_loop(alloc)
+
+
+class TestStructure:
+    def test_kernel_matches_analytical_size(self, alloc, loop):
+        assert len(loop.kernel) == alloc.schedule.kernel_code_size()
+
+    def test_wind_matches_analytical_size(self, alloc, loop):
+        sched = alloc.schedule
+        expected = (sched.stage_count - 1) * len(sched.ddg.ops)
+        assert len(loop.prologue) + len(loop.epilogue) == expected
+
+    def test_every_op_in_every_kernel_copy(self, alloc, loop):
+        per_copy = {}
+        for op in loop.kernel:
+            per_copy.setdefault(op.copy, set()).add(op.op_id)
+        all_ids = {op.id for op in alloc.schedule.ddg.ops}
+        assert set(per_copy) == set(range(loop.mve_unroll))
+        for ids in per_copy.values():
+            assert ids == all_ids
+
+    def test_registers_within_budget(self, alloc, loop):
+        for op in loop.kernel + loop.prologue + loop.epilogue:
+            if op.dst is not None:
+                assert 0 <= op.dst < alloc.reg_n
+            assert all(0 <= s < alloc.reg_n for s in op.srcs)
+
+    def test_mve_copies_use_rotated_names(self, alloc, loop):
+        if loop.mve_unroll < 2:
+            pytest.skip("loop has no multi-II lifetimes")
+        by_copy = {}
+        for op in loop.kernel:
+            if op.dst is not None:
+                by_copy.setdefault(op.op_id, {})[op.copy] = op.dst
+        rotated = [
+            dsts for dsts in by_copy.values()
+            if len(set(dsts.values())) == len(dsts)
+        ]
+        assert rotated, "MVE renaming must separate copies"
+
+    def test_kernel_cycles_within_unrolled_window(self, loop):
+        for op in loop.kernel:
+            assert 0 <= op.cycle < loop.mve_unroll * loop.ii
+
+
+class TestEncodingIntegration:
+    def test_preamble_from_encoding(self, alloc):
+        report = encode_kernel(alloc, diff_n=32, restarts=2)
+        loop = generate_pipelined_loop(alloc, report)
+        assert loop.setlr_preamble == report.n_setlr + report.enable_overhead
+        assert loop.total_ops == (
+            len(loop.prologue) + len(loop.kernel) + len(loop.epilogue)
+            + loop.setlr_preamble
+        )
+
+    def test_permutation_applied(self, alloc):
+        report = encode_kernel(alloc, diff_n=32, restarts=2)
+        plain = generate_pipelined_loop(alloc)
+        remapped = generate_pipelined_loop(alloc, report)
+        perm = report.permutation
+        for a, b in zip(plain.kernel, remapped.kernel):
+            if a.dst is not None:
+                assert b.dst == perm[a.dst]
+
+    def test_render_smoke(self, loop):
+        text = loop.render()
+        assert "kernel:" in text and "prologue:" in text
+        assert f"II={loop.ii}" in text

@@ -1,0 +1,116 @@
+"""Loop DDG tests: MII bounds and the spill transform."""
+
+import pytest
+
+from repro.machine.spec import VLIWConfig
+from repro.swp import Dep, LoopDDG, LoopOp
+
+
+def chain(n, kind="alu", latency=1):
+    ops = [LoopOp(i, kind, latency) for i in range(n)]
+    deps = [Dep(i, i + 1) for i in range(n - 1)]
+    return ops, deps
+
+
+class TestResMII:
+    def test_fu_bound(self):
+        ops, deps = chain(9)
+        ddg = LoopDDG(ops, deps)
+        assert ddg.res_mii(VLIWConfig(n_functional_units=4)) == 3
+
+    def test_memory_port_bound(self):
+        ops = [LoopOp(i, "mem_load", 2) for i in range(6)]
+        ddg = LoopDDG(ops, [])
+        assert ddg.res_mii(VLIWConfig(n_functional_units=8, n_memory_ports=2)) == 3
+
+    def test_minimum_one(self):
+        ddg = LoopDDG([LoopOp(0)], [])
+        assert ddg.res_mii() == 1
+
+
+class TestRecMII:
+    def test_no_recurrence_gives_one(self):
+        ops, deps = chain(4)
+        assert LoopDDG(ops, deps).rec_mii() == 1
+
+    def test_self_recurrence(self):
+        # a -> a with latency 3, distance 1: RecMII = 3
+        ddg = LoopDDG([LoopOp(0, "mul", 3)], [Dep(0, 0, distance=1)])
+        assert ddg.rec_mii() == 3
+
+    def test_two_op_cycle(self):
+        # total latency 4 over distance 2 -> RecMII = 2
+        ops = [LoopOp(0, latency=2), LoopOp(1, latency=2)]
+        deps = [Dep(0, 1, distance=1), Dep(1, 0, distance=1)]
+        assert LoopDDG(ops, deps).rec_mii() == 2
+
+    def test_unsatisfiable_recurrence(self):
+        ddg = LoopDDG([LoopOp(0, latency=10_000)], [Dep(0, 0, distance=1)])
+        with pytest.raises(ValueError, match="unsatisfiable"):
+            ddg.rec_mii(max_ii=100)
+
+    def test_mii_is_max_of_bounds(self):
+        ops = [LoopOp(i) for i in range(8)] + [LoopOp(8, latency=6)]
+        deps = [Dep(8, 8, distance=1)]
+        ddg = LoopDDG(ops, deps)
+        assert ddg.mii(VLIWConfig(n_functional_units=4)) == 6
+
+
+class TestValidation:
+    def test_duplicate_ids(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            LoopDDG([LoopOp(0), LoopOp(0)], [])
+
+    def test_unknown_dep_target(self):
+        with pytest.raises(ValueError, match="unknown op"):
+            LoopDDG([LoopOp(0)], [Dep(0, 9)])
+
+    def test_negative_distance(self):
+        with pytest.raises(ValueError, match="negative"):
+            LoopDDG([LoopOp(0), LoopOp(1)], [Dep(0, 1, distance=-1)])
+
+
+class TestSpillTransform:
+    def test_reroutes_through_memory(self):
+        ops, deps = chain(3)
+        ddg = LoopDDG(ops, deps)
+        out, nxt = ddg.with_spilled_value(0, 3)
+        kinds = [op.kind for op in out.ops]
+        assert kinds.count("mem_store") == 1
+        assert kinds.count("mem_load") == 1
+        # the register dep 0->1 is gone; the value flows via store+load
+        assert not any(d.src == 0 and d.dst == 1 and d.is_data for d in out.deps)
+        load = next(op for op in out.ops if op.kind == "mem_load")
+        assert any(d.src == load.id and d.dst == 1 and d.is_data for d in out.deps)
+
+    def test_per_consumer_reloads(self):
+        ops = [LoopOp(0), LoopOp(1), LoopOp(2), LoopOp(3)]
+        deps = [Dep(0, 1), Dep(0, 2), Dep(0, 3)]
+        out, _ = LoopDDG(ops, deps).with_spilled_value(0, 4)
+        assert sum(1 for op in out.ops if op.kind == "mem_load") == 3
+
+    def test_share_limit_groups_loads(self):
+        ops = [LoopOp(0), LoopOp(1), LoopOp(2), LoopOp(3)]
+        deps = [Dep(0, 1), Dep(0, 2), Dep(0, 3)]
+        out, _ = LoopDDG(ops, deps).with_spilled_value(0, 4, share_limit=2)
+        assert sum(1 for op in out.ops if op.kind == "mem_load") == 2
+
+    def test_distance_preserved_through_memory(self):
+        ops = [LoopOp(0), LoopOp(1)]
+        deps = [Dep(0, 1, distance=2)]
+        out, _ = LoopDDG(ops, deps).with_spilled_value(0, 2)
+        store = next(op for op in out.ops if op.kind == "mem_store")
+        load = next(op for op in out.ops if op.kind == "mem_load")
+        mem_dep = next(d for d in out.deps if d.src == store.id and d.dst == load.id)
+        assert mem_dep.distance == 2
+
+    def test_spill_ops_tagged(self):
+        ops, deps = chain(2)
+        out, _ = LoopDDG(ops, deps).with_spilled_value(0, 2)
+        for op in out.ops:
+            assert op.from_spill == (op.id >= 2)
+
+    def test_store_and_branch_produce_no_value(self):
+        assert not LoopOp(0, "mem_store").produces_value
+        assert not LoopOp(0, "branch").produces_value
+        assert LoopOp(0, "mem_load").produces_value

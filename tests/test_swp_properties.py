@@ -1,0 +1,110 @@
+"""Property-based tests for the software-pipelining substrate.
+
+Random DDGs (acyclic dataflow plus bounded-latency recurrences) must always
+yield schedules that satisfy every dependence and every modulo resource
+limit; kernel allocation must always respect the register budget or flag
+itself as derated.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.machine.spec import VLIWConfig
+from repro.swp import Dep, LoopDDG, LoopOp, allocate_kernel, modulo_schedule
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+_KINDS = [("alu", 1), ("alu", 1), ("mul", 3), ("mem_load", 2),
+          ("mem_store", 2)]
+
+
+@st.composite
+def ddgs(draw):
+    """Random well-formed loop DDGs."""
+    rng = random.Random(draw(st.integers(0, 10_000)))
+    n = draw(st.integers(min_value=2, max_value=28))
+    ops = []
+    deps = []
+    for i in range(n):
+        kind, lat = rng.choice(_KINDS)
+        ops.append(LoopOp(i, kind, lat))
+        if i and rng.random() < 0.8:
+            src = rng.randrange(i)
+            if ops[src].produces_value:
+                deps.append(Dep(src, i, 0, is_data=True))
+    # a bounded recurrence
+    if n >= 4 and rng.random() < 0.5:
+        late = rng.randrange(n // 2, n)
+        early = rng.randrange(n // 2)
+        if ops[late].produces_value and late != early:
+            deps.append(Dep(late, early, distance=rng.randint(1, 2),
+                            is_data=True))
+    trip = rng.randrange(4, 50)
+    return LoopDDG(ops, sorted(set(deps),
+                               key=lambda d: (d.src, d.dst, d.distance)),
+                   trip_count=trip)
+
+
+def machine_configs():
+    return st.builds(
+        VLIWConfig,
+        n_functional_units=st.integers(min_value=2, max_value=6),
+        n_memory_ports=st.integers(min_value=1, max_value=3),
+    )
+
+
+class TestSchedulerProperties:
+    @given(ddg=ddgs(), machine=machine_configs())
+    @settings(max_examples=60, **COMMON)
+    def test_schedule_respects_dependences_and_resources(self, ddg, machine):
+        s = modulo_schedule(ddg, machine)
+        for d in ddg.deps:
+            assert (s.times[d.dst] + s.ii * d.distance
+                    >= s.times[d.src] + ddg.op(d.src).latency)
+        fu = [0] * s.ii
+        mem = [0] * s.ii
+        for op in ddg.ops:
+            slot = s.times[op.id] % s.ii
+            fu[slot] += 1
+            if op.uses_memory_port:
+                mem[slot] += 1
+        assert max(fu) <= machine.n_functional_units
+        assert max(mem, default=0) <= machine.n_memory_ports
+
+    @given(ddg=ddgs())
+    @settings(max_examples=40, **COMMON)
+    def test_ii_at_least_both_bounds(self, ddg):
+        s = modulo_schedule(ddg)
+        assert s.ii >= ddg.res_mii()
+        assert s.ii >= ddg.rec_mii()
+
+    @given(ddg=ddgs())
+    @settings(max_examples=40, **COMMON)
+    def test_times_nonnegative_and_maxlive_positive(self, ddg):
+        s = modulo_schedule(ddg)
+        assert min(s.times.values()) >= 0
+        if any(op.produces_value for op in ddg.ops):
+            assert s.max_live() >= 1
+
+
+class TestAllocationProperties:
+    @given(ddg=ddgs(), reg_n=st.integers(min_value=8, max_value=48))
+    @settings(max_examples=40, **COMMON)
+    def test_budget_respected_or_derated(self, ddg, reg_n):
+        alloc = allocate_kernel(ddg, reg_n)
+        if not alloc.derated:
+            assert alloc.max_live <= reg_n
+        assert all(0 <= r < reg_n for r in alloc.assignment.values())
+
+    @given(ddg=ddgs())
+    @settings(max_examples=25, **COMMON)
+    def test_spill_transform_keeps_ddg_well_formed(self, ddg):
+        victims = [op.id for op in ddg.ops if op.produces_value][:2]
+        next_id = max(op.id for op in ddg.ops) + 1
+        current = ddg
+        for v in victims:
+            current, next_id = current.with_spilled_value(v, next_id)
+        # constructor re-validates; scheduling must still succeed
+        s = modulo_schedule(current)
+        assert s.ii >= 1

@@ -1,0 +1,163 @@
+"""Tests for IR cleanup transforms and DOT export."""
+
+import pytest
+
+from repro.analysis import build_adjacency, build_interference
+from repro.analysis.dot import adjacency_to_dot, cfg_to_dot, interference_to_dot
+from repro.ir import Interpreter, parse_function, vreg
+from repro.ir.transforms import cleanup, copy_propagation, dead_code_elimination
+from repro.regalloc import iterated_allocate
+
+
+class TestDCE:
+    def test_dead_value_removed(self):
+        fn = parse_function("""
+func f():
+entry:
+    li v1, 1
+    li v2, 99
+    ret v1
+""")
+        out, removed = dead_code_elimination(fn)
+        assert removed == 1
+        assert out.num_instructions() == 2
+
+    def test_transitively_dead_chain(self):
+        fn = parse_function("""
+func f():
+entry:
+    li v1, 1
+    addi v2, v1, 1
+    addi v3, v2, 1
+    li v9, 7
+    ret v9
+""")
+        out, removed = dead_code_elimination(fn)
+        assert removed == 3
+
+    def test_stores_always_kept(self):
+        fn = parse_function("""
+func f():
+entry:
+    li v1, 64
+    li v2, 5
+    st v2, [v1+0]
+    ret v1
+""")
+        out, removed = dead_code_elimination(fn)
+        assert removed == 0
+
+    def test_semantics_preserved(self, pressure_fn):
+        ref = Interpreter().run(pressure_fn, (4,)).return_value
+        out, _ = dead_code_elimination(pressure_fn)
+        assert Interpreter().run(out, (4,)).return_value == ref
+
+    def test_loop_carried_values_kept(self, sum_fn):
+        out, removed = dead_code_elimination(sum_fn)
+        assert removed == 0
+
+
+class TestCopyPropagation:
+    def test_simple_forwarding(self):
+        fn = parse_function("""
+func f(v0):
+entry:
+    mov v1, v0
+    addi v2, v1, 1
+    ret v2
+""")
+        out, rewritten = copy_propagation(fn)
+        assert rewritten == 1
+        instrs = list(out.instructions())
+        assert instrs[1].srcs == (vreg(0),)
+
+    def test_redefined_source_blocks_forwarding(self):
+        fn = parse_function("""
+func f(v0):
+entry:
+    mov v1, v0
+    addi v0, v0, 1
+    add v2, v1, v0
+    ret v2
+""")
+        out, rewritten = copy_propagation(fn)
+        # v1 still reads the OLD v0; forwarding would change semantics
+        ref = Interpreter().run(fn, (10,)).return_value
+        assert Interpreter().run(out, (10,)).return_value == ref
+
+    def test_chained_copies_collapse(self):
+        fn = parse_function("""
+func f(v0):
+entry:
+    mov v1, v0
+    mov v2, v1
+    ret v2
+""")
+        out, _ = copy_propagation(fn)
+        out, removed = dead_code_elimination(out)
+        assert removed == 2
+        assert out.num_instructions() == 1
+
+    def test_not_propagated_across_blocks(self, diamond_fn):
+        out, _ = copy_propagation(diamond_fn)
+        ref3 = Interpreter().run(diamond_fn, (3,)).return_value
+        assert Interpreter().run(out, (3,)).return_value == ref3
+
+    def test_cleanup_composition(self, pressure_fn):
+        ref = Interpreter().run(pressure_fn, (4,)).return_value
+        out, changes = cleanup(pressure_fn)
+        assert Interpreter().run(out, (4,)).return_value == ref
+
+
+class TestDotExport:
+    def test_cfg_dot(self, diamond_fn):
+        dot = cfg_to_dot(diamond_fn)
+        assert dot.startswith("digraph")
+        assert '"entry" -> "big"' in dot
+        assert '"big" -> "join"' in dot
+
+    def test_cfg_dot_with_frequencies(self, sum_fn):
+        dot = cfg_to_dot(sum_fn, freq={"loop": 10.0})
+        assert "(10x)" in dot
+
+    def test_interference_dot_with_coloring(self, sum_fn):
+        g = build_interference(sum_fn)
+        res = iterated_allocate(sum_fn, 4)
+        dot = interference_to_dot(g, res.coloring)
+        assert dot.startswith("graph")
+        assert "fillcolor" in dot
+        assert "--" in dot
+
+    def test_interference_dot_moves_dashed(self):
+        fn = parse_function("""
+func f(v0):
+entry:
+    mov v1, v0
+    ret v1
+""")
+        dot = interference_to_dot(build_interference(fn))
+        assert "style=dashed" in dot
+
+    def test_adjacency_dot_highlights_violations(self):
+        fn = parse_function("""
+func f():
+entry:
+    add r1, r0, r1
+    add r0, r2, r0
+    ret r0
+""")
+        g = build_adjacency(fn)
+        assignment = {r: r.id for r in g.nodes()}
+        dot = adjacency_to_dot(g, assignment, reg_n=4, diff_n=2)
+        assert "color=red" in dot        # some wrap-around edge violates
+        assert "color=green" in dot      # and some edge is satisfied
+
+    def test_adjacency_dot_plain(self):
+        fn = parse_function("""
+func f():
+entry:
+    add r1, r0, r1
+    ret r1
+""")
+        dot = adjacency_to_dot(build_adjacency(fn))
+        assert "digraph" in dot

@@ -1,0 +1,104 @@
+"""Decode-replay verifier tests: it accepts valid encodings and catches
+corrupted ones."""
+
+import pytest
+
+from repro.encoding import EncodingConfig, EncodingError, encode_function, verify_encoding
+from repro.ir import Instr, parse_function
+
+
+def encoded_diamond(policy="pred_end"):
+    fn = parse_function("""
+func f():
+entry:
+    add r1, r0, r1
+    beq r1, r0, right
+left:
+    add r2, r1, r2
+    br join
+right:
+    add r3, r2, r3
+join:
+    add r1, r0, r1
+    ret r1
+""")
+    cfg = EncodingConfig(reg_n=12, diff_n=8, join_repair=policy)
+    return encode_function(fn, cfg)
+
+
+class TestAcceptance:
+    def test_valid_encoding_passes(self):
+        rep = verify_encoding(encoded_diamond())
+        assert rep.blocks == 4
+        assert rep.states_visited >= 4
+        assert rep.fields_decoded > 0
+
+    def test_both_policies_pass(self):
+        verify_encoding(encoded_diamond("block_entry"))
+        verify_encoding(encoded_diamond("pred_end"))
+
+
+class TestDetection:
+    def test_corrupted_field_code(self):
+        enc = encoded_diamond()
+        uid = next(iter(enc.field_codes))
+        codes = list(enc.field_codes[uid])
+        codes[0] = (codes[0] + 1) % enc.config.diff_n
+        enc.field_codes[uid] = tuple(codes)
+        with pytest.raises(EncodingError, match="decodes to"):
+            verify_encoding(enc)
+
+    def test_missing_field_code(self):
+        enc = encoded_diamond()
+        uid = next(
+            i.uid for i in enc.fn.instructions()
+            if i.op != "setlr" and enc.field_codes.get(i.uid)
+        )
+        enc.field_codes[uid] = ()
+        with pytest.raises(EncodingError, match="missing field code"):
+            verify_encoding(enc)
+
+    def test_extra_field_code(self):
+        enc = encoded_diamond()
+        uid = next(i.uid for i in enc.fn.instructions() if i.op != "setlr")
+        enc.field_codes[uid] = enc.field_codes[uid] + (0,)
+        with pytest.raises(EncodingError, match="unused field"):
+            verify_encoding(enc)
+
+    def test_removed_join_repair_detected(self):
+        enc = encoded_diamond("block_entry")
+        removed = False
+        for block in enc.fn.blocks:
+            for i, instr in enumerate(block.instrs):
+                if instr.op == "setlr":
+                    del block.instrs[i]
+                    removed = True
+                    break
+            if removed:
+                break
+        assert removed, "encoding unexpectedly needed no repairs"
+        with pytest.raises(EncodingError):
+            verify_encoding(enc)
+
+    def test_wrong_setlr_value_detected(self):
+        enc = encoded_diamond("block_entry")
+        for block in enc.fn.blocks:
+            for i, instr in enumerate(block.instrs):
+                if instr.op == "setlr":
+                    v, d, c = instr.imm
+                    block.instrs[i] = Instr("setlr", imm=((v + 1) % 12, d, c))
+                    with pytest.raises(EncodingError):
+                        verify_encoding(enc)
+                    return
+        pytest.skip("no setlr present")
+
+    def test_unknown_direct_slot_code(self):
+        enc = encoded_diamond()
+        cfg = enc.config
+        uid = next(i.uid for i in enc.fn.instructions()
+                   if enc.field_codes.get(i.uid))
+        codes = list(enc.field_codes[uid])
+        codes[0] = cfg.diff_n  # not a difference, and no slot defined
+        enc.field_codes[uid] = tuple(codes)
+        with pytest.raises(EncodingError, match="neither a difference"):
+            verify_encoding(enc)
