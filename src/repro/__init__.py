@@ -20,6 +20,9 @@ The package is organised bottom-up:
   generator, and the synthetic SPEC-loop population.
 * :mod:`repro.experiments` — harnesses regenerating every table and figure
   of the paper's Section 10.
+* :mod:`repro.lint` — a static IR verifier: dataflow-backed well-formedness
+  rules, a shared diagnostic core (:mod:`repro.diagnostics`), and
+  pass-pipeline instrumentation (``--verify-each-pass``).
 
 Quick start::
 
@@ -41,14 +44,23 @@ See README.md and EXPERIMENTS.md for the experiment walkthrough.
 
 __version__ = "1.0.0"
 
+from repro.diagnostics import Diagnostic, DiagnosticReport, LintError, Severity
 from repro.encoding import EncodingConfig, encode_function, verify_encoding
+from repro.lint import LintOptions, PassVerifier, run_lint
 from repro.regalloc import SETUPS, run_setup
 
 __all__ = [
+    "Diagnostic",
+    "DiagnosticReport",
     "EncodingConfig",
+    "LintError",
+    "LintOptions",
+    "PassVerifier",
+    "Severity",
     "encode_function",
-    "verify_encoding",
-    "SETUPS",
+    "run_lint",
     "run_setup",
+    "SETUPS",
+    "verify_encoding",
     "__version__",
 ]

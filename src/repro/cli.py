@@ -12,6 +12,8 @@ or encode standalone assembly files:
     $ python -m repro bench sha         # one kernel through all setups
     $ python -m repro list              # available workloads
     $ python -m repro encode prog.s --reg-n 12 --diff-n 8
+    $ python -m repro lint prog.s       # static IR checks on a file
+    $ python -m repro lint all          # ... on every bundled workload
 """
 
 from __future__ import annotations
@@ -27,7 +29,11 @@ def _cmd_lowend(args) -> int:
     from repro.experiments import run_lowend_experiment
 
     exp = run_lowend_experiment(remap_restarts=args.restarts,
-                                profile=not args.static_weights)
+                                profile=not args.static_weights,
+                                verify_each_pass=args.verify_each_pass,
+                                lint_mode=args.lint_mode)
+    if exp.pass_verifier is not None and not exp.pass_verifier.clean:
+        print(exp.pass_verifier.attribution(), file=sys.stderr)
     figures = {
         "lowend": exp.render_all,
         "table1": lambda: exp.table1().render(),
@@ -77,15 +83,25 @@ def _cmd_bench(args) -> int:
     run_args = workload.default_args
     freq = profile_block_frequencies(fn, run_args)
     timing = LowEndTimingModel()
+    verifier = None
+    if args.verify_each_pass:
+        from repro.lint import PassVerifier
+
+        verifier = PassVerifier(mode=args.lint_mode)
+        verifier.prefix = args.name
     table = Table(f"{args.name}: the five Section 10.1 setups",
                   ["setup", "instrs", "spills", "setlr", "cycles"])
     for setup in SETUPS:
-        prog = run_setup(fn, setup, freq=freq, remap_restarts=args.restarts)
+        prog = run_setup(fn, setup, freq=freq, remap_restarts=args.restarts,
+                         pass_verifier=verifier)
         result = Interpreter().run(prog.final_fn, run_args)
         report = timing.time(result.trace)
         table.add_row(setup, prog.n_instructions, prog.n_spills,
                       prog.n_setlr, report.cycles)
     print(table.render())
+    if verifier is not None and not verifier.clean:
+        print(verifier.attribution(), file=sys.stderr)
+        return 1
     return 0
 
 
@@ -97,12 +113,22 @@ def _cmd_list(args) -> int:
     return 0
 
 
+def _parse_file(path: str):
+    """Parse an assembly file, rendering failures like lint findings."""
+    from repro.ir import ParseError, parse_function
+
+    try:
+        with open(path) as f:
+            text = f.read()
+    except OSError as exc:
+        raise ParseError(f"cannot read {path}: {exc.strerror}", file=path)
+    return parse_function(text, filename=path)
+
+
 def _cmd_encode(args) -> int:
     from repro.encoding import EncodingConfig, encode_function, verify_encoding
-    from repro.ir import parse_function
 
-    with open(args.file) as f:
-        fn = parse_function(f.read())
+    fn = _parse_file(args.file)
     config = EncodingConfig(reg_n=args.reg_n, diff_n=args.diff_n,
                             access_order=args.access_order)
     enc = encode_function(fn, config)
@@ -120,10 +146,8 @@ def _cmd_encode(args) -> int:
 def _cmd_disasm(args) -> int:
     from repro.encoding import EncodingConfig, encode_function, pack_function
     from repro.encoding.objdump import disassemble
-    from repro.ir import parse_function
 
-    with open(args.file) as f:
-        fn = parse_function(f.read())
+    fn = _parse_file(args.file)
     config = EncodingConfig(reg_n=args.reg_n, diff_n=args.diff_n)
     packed = pack_function(encode_function(fn, config))
     print(disassemble(packed))
@@ -142,6 +166,65 @@ def _cmd_report(args) -> int:
     else:
         print(text)
     return 0
+
+
+def _cmd_lint(args) -> int:
+    import json
+    import os
+
+    from repro.encoding import EncodingConfig
+    from repro.lint import LintOptions, Severity, run_lint
+    from repro.workloads import MIBENCH, get_workload
+
+    encoding = None
+    if args.reg_n is not None:
+        try:
+            encoding = EncodingConfig(reg_n=args.reg_n,
+                                      diff_n=args.diff_n or args.reg_n,
+                                      access_order=args.access_order)
+        except ValueError as exc:
+            print(f"bad encoding parameters: {exc}", file=sys.stderr)
+            return 2
+    options = LintOptions(
+        allocated=True if args.allocated else None,
+        k=args.k,
+        encoding=encoding,
+        access_order=args.access_order,
+        disabled=frozenset(args.disable or ()),
+    )
+
+    targets = []  # (display name, Function)
+    for target in args.targets:
+        if target == "all":
+            targets.extend((w.name, w.function()) for w in MIBENCH)
+        elif os.path.exists(target):
+            targets.append((target, _parse_file(target)))
+        else:
+            try:
+                targets.append((target, get_workload(target).function()))
+            except KeyError:
+                print(f"lint target {target!r} is neither a file nor a "
+                      "workload; try `python -m repro list`",
+                      file=sys.stderr)
+                return 2
+
+    threshold = Severity.WARNING if args.strict else Severity.ERROR
+    failed = False
+    json_out = {}
+    for display, fn in targets:
+        report = run_lint(fn, options)
+        if report.at_least(threshold):
+            failed = True
+        if args.json:
+            json_out[display] = json.loads(report.render_json())
+        elif report.diagnostics:
+            print(f"== {display}")
+            print(report.render_text())
+        else:
+            print(f"== {display}: clean")
+    if args.json:
+        print(json.dumps(json_out, indent=2))
+    return 1 if failed else 0
 
 
 def _cmd_sweep(args) -> int:
@@ -176,6 +259,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--static-weights", action="store_true",
                        help="use static loop-nest frequency estimates "
                             "instead of interpreter profiles")
+        p.add_argument("--verify-each-pass", action="store_true",
+                       help="run the static IR checker between pipeline "
+                            "stages and attribute the first violation")
+        p.add_argument("--lint-mode", default="strict",
+                       choices=("strict", "warn"),
+                       help="strict: stop at the offending pass; "
+                            "warn: record and continue")
         p.set_defaults(func=_cmd_lowend)
 
     p = sub.add_parser("swp", help="Tables 2-3 (the software-pipelining study)")
@@ -193,6 +283,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bench", help="run one benchmark through all setups")
     p.add_argument("name")
     p.add_argument("--restarts", type=int, default=50)
+    p.add_argument("--verify-each-pass", action="store_true",
+                   help="lint the IR after every pipeline stage")
+    p.add_argument("--lint-mode", default="strict",
+                   choices=("strict", "warn"))
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("list", help="list available benchmarks")
@@ -215,6 +309,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--diff-n", type=int, default=8)
     p.set_defaults(func=_cmd_disasm)
 
+    p = sub.add_parser("lint",
+                       help="static IR checks (rules L001-L009, see "
+                            "docs/lint_rules.md) on assembly files or "
+                            "bundled workloads")
+    p.add_argument("targets", nargs="+",
+                   help=".s file path, workload name, or 'all'")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    p.add_argument("--strict", action="store_true",
+                   help="treat warnings as failures")
+    p.add_argument("--allocated", action="store_true",
+                   help="hold the input to post-allocation invariants")
+    p.add_argument("--k", type=int,
+                   help="physical register budget to enforce")
+    p.add_argument("--reg-n", type=int,
+                   help="RegN: enables differential-space and "
+                        "set_last_reg range checks")
+    p.add_argument("--diff-n", type=int,
+                   help="DiffN (defaults to RegN when only RegN is given)")
+    p.add_argument("--access-order", default="src_first",
+                   choices=("src_first", "dst_first", "two_address"))
+    p.add_argument("--disable", action="append", metavar="RULE",
+                   help="rule id or name to skip (repeatable)")
+    p.set_defaults(func=_cmd_lint)
+
     p = sub.add_parser("report",
                        help="run every study and emit one combined report")
     p.add_argument("--out", help="write to a file instead of stdout")
@@ -232,8 +351,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro.diagnostics import LintError
+    from repro.ir import ParseError
+
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ParseError as exc:
+        # shared diagnostic formatting: parse errors render like lint
+        # findings, with file and line
+        print(exc.diagnostic.render(), file=sys.stderr)
+        return 1
+    except LintError as exc:
+        # strict-mode lint failures (encoder preconditions, per-pass
+        # verification) render their report instead of a traceback
+        print(exc, file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -36,12 +36,24 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.analysis.frequency import estimate_block_frequencies
+from repro.diagnostics import (
+    Diagnostic,
+    DiagnosticReport,
+    LintError,
+    Location,
+    Severity,
+)
 from repro.encoding.access_order import ACCESS_ORDERS
 from repro.encoding.config import EncodingConfig
 from repro.ir.function import BasicBlock, Function
 from repro.ir.instr import Instr, Reg
 
-__all__ = ["EncodedFunction", "encode_function", "setlr_payload"]
+__all__ = [
+    "EncodedFunction",
+    "encode_function",
+    "encoding_preconditions",
+    "setlr_payload",
+]
 
 
 def setlr_payload(instr: Instr) -> Tuple[int, int, str]:
@@ -79,20 +91,68 @@ class EncodedFunction:
         return self.n_setlr / total if total else 0.0
 
 
-def _check_registers(fn: Function, config: EncodingConfig) -> None:
-    for r in fn.registers():
+def encoding_preconditions(fn: Function,
+                           config: EncodingConfig) -> DiagnosticReport:
+    """Statically check that ``fn`` is legal encoder input.
+
+    Returns a report of lint diagnostics (rule ids match the catalogue in
+    :mod:`repro.lint.rules` / ``docs/lint_rules.md``): stray virtual
+    registers (L003), physical registers outside the differential space
+    that are not reserved special registers (L004), and pre-existing
+    ``set_last_reg`` instructions (L007).  The encoder rejects input with
+    a non-empty report; :mod:`repro.lint` re-uses the same check so
+    ``repro lint`` reports identical findings without running the encoder.
+    """
+    report = DiagnosticReport()
+    seen: set = set()
+
+    def check_reg(r: Reg, loc: Location) -> None:
+        if r in seen:
+            return
+        seen.add(r)
         if r.virtual:
-            raise ValueError(
-                f"{fn.name}: virtual register {r} survives to encoding; "
-                "run register allocation first"
-            )
+            report.add(Diagnostic(
+                rule="L003", name="vreg-mixing", severity=Severity.ERROR,
+                message=f"virtual register {r} survives to encoding",
+                location=loc,
+                hint="run register allocation first",
+            ))
+            return
         if r.cls not in config.classes:
-            continue
+            return
         if not config.is_special(r) and r.id >= config.reg_n:
-            raise ValueError(
-                f"{fn.name}: register {r} outside differential space "
-                f"[0, {config.reg_n}) and not a reserved special register"
-            )
+            report.add(Diagnostic(
+                rule="L004", name="reg-class", severity=Severity.ERROR,
+                message=f"register {r} outside differential space "
+                        f"[0, {config.reg_n}) and not a reserved special "
+                        "register",
+                location=loc,
+            ))
+
+    fn_loc = Location(function=fn.name)
+    for r in fn.params:
+        check_reg(r, fn_loc)
+    for block in fn.blocks:
+        for i, instr in enumerate(block.instrs):
+            loc = Location(function=fn.name, block=block.name,
+                           instr_index=i, uid=instr.uid)
+            if instr.op == "setlr":
+                report.add(Diagnostic(
+                    rule="L007", name="setlr", severity=Severity.ERROR,
+                    message="input already contains set_last_reg",
+                    location=loc,
+                    hint="encode_function inserts repairs itself; "
+                         "pass the pre-encoding function",
+                ))
+            for r in instr.uses() + instr.defs():
+                check_reg(r, loc)
+    return report
+
+
+def _check_registers(fn: Function, config: EncodingConfig) -> None:
+    report = encoding_preconditions(fn, config)
+    if not report.ok:
+        raise LintError(f"{fn.name}: illegal encoder input", report)
 
 
 def _last_encodable(fields, config: EncodingConfig, cls: str) -> Optional[int]:
@@ -121,9 +181,6 @@ def encode_function(fn: Function, config: EncodingConfig,
     the join-repair placement (defaults to the static loop-nest estimate).
     """
     _check_registers(fn, config)
-    for instr in fn.instructions():
-        if instr.op == "setlr":
-            raise ValueError(f"{fn.name}: input already contains set_last_reg")
     fn = fn.copy()
     order_fn = ACCESS_ORDERS[config.access_order]
     succs, preds = fn.cfg()

@@ -58,6 +58,8 @@ class LowEndExperiment:
     reg_n: int
     diff_n: int
     config: LowEndConfig = LOWEND
+    #: the per-pass lint trail when run with ``verify_each_pass``
+    pass_verifier: Optional[object] = None
 
     def row(self, benchmark: str, setup: str) -> BenchmarkRow:
         """Look up one (benchmark, setup) measurement."""
@@ -175,7 +177,9 @@ def run_lowend_experiment(workloads: Sequence[Workload] = MIBENCH,
                           use_ilp: bool = True,
                           verify: bool = True,
                           profile: bool = True,
-                          composite: bool = False) -> LowEndExperiment:
+                          composite: bool = False,
+                          verify_each_pass: bool = False,
+                          lint_mode: str = "strict") -> LowEndExperiment:
     """Run the full Section 10.1 study.
 
     ``scale`` selects each workload's ``default_args`` (fast) or
@@ -189,10 +193,21 @@ def run_lowend_experiment(workloads: Sequence[Workload] = MIBENCH,
     denser than real cold code and inflate every setup's cost.  Semantics
     are cross-checked: every setup of a benchmark must return the same
     checksum.
+
+    ``verify_each_pass`` runs the static IR checker (:mod:`repro.lint`)
+    between every pipeline stage of every benchmark; ``lint_mode`` is
+    ``"strict"`` (raise at the offending pass) or ``"warn"`` (record and
+    continue; inspect ``experiment.pass_verifier.summary()``).
     """
     from repro.analysis.profile import profile_block_frequencies
     from repro.workloads.compose import concat_functions
     from repro.workloads.synth import generate_function
+
+    pass_verifier = None
+    if verify_each_pass:
+        from repro.lint import PassVerifier
+
+        pass_verifier = PassVerifier(mode=lint_mode)
 
     timing = LowEndTimingModel(config)
     rows: List[BenchmarkRow] = []
@@ -209,10 +224,12 @@ def run_lowend_experiment(workloads: Sequence[Workload] = MIBENCH,
         freq = profile_block_frequencies(fn, args) if profile else None
         checksums = {}
         for setup in setups:
+            if pass_verifier is not None:
+                pass_verifier.prefix = w.name
             prog: AllocatedProgram = run_setup(
                 fn, setup, base_k=base_k, reg_n=reg_n, diff_n=diff_n,
                 remap_restarts=remap_restarts, use_ilp=use_ilp, verify=verify,
-                freq=freq,
+                freq=freq, pass_verifier=pass_verifier,
             )
             result = Interpreter().run(prog.final_fn, args)
             report = timing.time(result.trace)
@@ -230,4 +247,5 @@ def run_lowend_experiment(workloads: Sequence[Workload] = MIBENCH,
             raise AssertionError(
                 f"{w.name}: setups disagree on semantics: {checksums}"
             )
-    return LowEndExperiment(rows, base_k, reg_n, diff_n, config)
+    return LowEndExperiment(rows, base_k, reg_n, diff_n, config,
+                            pass_verifier=pass_verifier)

@@ -1,0 +1,61 @@
+"""Static analysis (lint) framework over the three-address IR.
+
+The decode-replay verifier (:mod:`repro.encoding.verifier`) proves the
+*encoding* correct; this package statically checks the IR and allocation
+results that feed it, so a buggy allocator or scheduler fails loudly at
+the pass that broke the invariant instead of as a deep ``KeyError`` in
+the encoder.  Three pieces:
+
+* a diagnostic core (:mod:`repro.diagnostics`, re-exported here):
+  severities, rule ids, precise locations, fix-it hints, text and JSON
+  renderers;
+* a rule catalogue (:mod:`repro.lint.rules`, ids ``L001``-``L009``,
+  documented in ``docs/lint_rules.md``): CFG well-formedness,
+  def-before-use via liveness, virtual/physical mixing, register-class
+  and calling-convention legality, two-address conformance,
+  ``set_last_reg`` placement, spill-slot initialization, dead/duplicate
+  blocks;
+* pass-pipeline instrumentation (:mod:`repro.lint.passes`): a
+  :class:`PassVerifier` that :func:`repro.regalloc.pipeline.run_setup`
+  and the experiment harnesses call between stages
+  (``--verify-each-pass``) to attribute the first violation to the pass
+  that introduced it.
+
+Programmatic quick start::
+
+    from repro.lint import LintOptions, run_lint
+
+    report = run_lint(fn, LintOptions(allocated=True, k=8))
+    assert report.ok, report.render_text()
+
+or from the command line: ``python -m repro lint prog.s`` /
+``python -m repro lint all``.
+"""
+
+from repro.diagnostics import (
+    Diagnostic,
+    DiagnosticReport,
+    LintError,
+    Location,
+    Severity,
+)
+from repro.lint.context import LintContext, LintOptions
+from repro.lint.passes import PassCheckRecord, PassVerificationError, PassVerifier
+from repro.lint.rules import RULES, Rule, lint_function, run_lint
+
+__all__ = [
+    "Diagnostic",
+    "DiagnosticReport",
+    "LintError",
+    "Location",
+    "Severity",
+    "LintContext",
+    "LintOptions",
+    "PassCheckRecord",
+    "PassVerificationError",
+    "PassVerifier",
+    "RULES",
+    "Rule",
+    "lint_function",
+    "run_lint",
+]

@@ -1,0 +1,156 @@
+"""Lint run configuration and the per-function analysis context.
+
+:class:`LintOptions` says what the function *should* look like — whether
+allocation already happened, what register budget / encoding scheme /
+calling convention applies — because most IR properties are only right or
+wrong relative to a pipeline stage.  :class:`LintContext` caches the
+analyses (CFG, liveness, reachability) that the dataflow-backed rules
+share, and degrades gracefully when the CFG itself is malformed so the
+structural rules can still report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.diagnostics import Location
+from repro.encoding.config import EncodingConfig
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instr import Instr, Reg
+
+if TYPE_CHECKING:  # avoid a module-level regalloc import (layering)
+    from repro.regalloc.callconv import CallingConvention
+
+__all__ = ["LintOptions", "LintContext"]
+
+
+@dataclass(frozen=True)
+class LintOptions:
+    """What stage of the pipeline the linted function is supposed to be at.
+
+    Attributes:
+        allocated: ``True`` — the function is post-register-allocation, any
+            virtual register is an error.  ``False`` — pre-allocation.
+            ``None`` (default) — inferred: a function whose registers are
+            all physical is treated as allocated.
+        k: register budget for ``int``-class physical registers; ids at or
+            beyond it are reported (rule L004).
+        encoding: the differential :class:`EncodingConfig` in force; enables
+            the differential-space and ``set_last_reg`` payload checks
+            (rules L004/L007).
+        cc: calling convention to check call sites against (rule L005).
+        access_order: nominal access order, used to count register fields
+            for ``set_last_reg`` delay validation.
+        two_address: force the two-address conformance rule on/off;
+            ``None`` enables it exactly when ``access_order`` is
+            ``"two_address"``.
+        disabled: rule ids or names to skip.
+    """
+
+    allocated: Optional[bool] = None
+    k: Optional[int] = None
+    encoding: Optional[EncodingConfig] = None
+    cc: Optional["CallingConvention"] = None
+    access_order: str = "src_first"
+    two_address: Optional[bool] = None
+    disabled: FrozenSet[str] = frozenset()
+
+
+class LintContext:
+    """Shared analysis state for one lint run over one function."""
+
+    def __init__(self, fn: Function, options: Optional[LintOptions] = None):
+        self.fn = fn
+        self.options = options or LintOptions()
+        self.block_names: Set[str] = {b.name for b in fn.blocks}
+        self.succs: Dict[str, List[str]] = {}
+        self.preds: Dict[str, List[str]] = {}
+        try:
+            self.succs, self.preds = fn.cfg()
+            self.cfg_ok = bool(fn.blocks)
+        except (KeyError, ValueError):
+            # malformed control flow (dangling labels); the structural rule
+            # reports it, dataflow rules skip
+            self.cfg_ok = False
+
+    # ------------------------------------------------------------------
+    # cached analyses
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def liveness(self):
+        from repro.analysis.liveness import compute_liveness
+
+        return compute_liveness(self.fn)
+
+    @cached_property
+    def reachable(self) -> FrozenSet[str]:
+        """Block names reachable from the entry block."""
+        if not self.cfg_ok:
+            return frozenset(self.block_names)
+        seen: Set[str] = set()
+        stack = [self.fn.blocks[0].name]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(self.succs[name])
+        return frozenset(seen)
+
+    @cached_property
+    def registers(self) -> FrozenSet[Reg]:
+        return frozenset(self.fn.registers())
+
+    @property
+    def has_virtual(self) -> bool:
+        return any(r.virtual for r in self.registers)
+
+    @property
+    def has_physical(self) -> bool:
+        return any(not r.virtual for r in self.registers)
+
+    @property
+    def is_allocated(self) -> bool:
+        """Whether to hold the function to post-allocation invariants."""
+        if self.options.allocated is not None:
+            return self.options.allocated
+        return self.has_physical and not self.has_virtual
+
+    # ------------------------------------------------------------------
+    # location helpers
+    # ------------------------------------------------------------------
+
+    def loc(self, block: Optional[BasicBlock] = None,
+            index: Optional[int] = None,
+            instr: Optional[Instr] = None) -> Location:
+        """A :class:`Location` inside this function, as precise as given."""
+        return Location(
+            function=self.fn.name,
+            block=block.name if block is not None else None,
+            instr_index=index,
+            uid=instr.uid if instr is not None else None,
+        )
+
+    def first_use_site(self, reg: Reg) -> Tuple[Optional[BasicBlock],
+                                                Optional[int],
+                                                Optional[Instr]]:
+        """First upward-exposed use of ``reg`` in layout order.
+
+        Only considers blocks where ``reg`` is live-in (so the use really
+        can see an undefined value) and uses not preceded by a same-block
+        definition.
+        """
+        for block in self.fn.blocks:
+            if block.name not in self.reachable:
+                continue
+            if reg not in self.liveness.live_in.get(block.name, frozenset()):
+                continue
+            for i, instr in enumerate(block.instrs):
+                if reg in instr.uses():
+                    return block, i, instr
+                if reg in instr.defs():
+                    break
+        return None, None, None

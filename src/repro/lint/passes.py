@@ -1,0 +1,117 @@
+"""Pass-pipeline instrumentation: run the linter between pipeline stages.
+
+An LLVM ``-verify-machineinstrs`` analogue: a :class:`PassVerifier` is
+handed to :func:`repro.regalloc.pipeline.run_setup` (or used directly by
+any pass driver), which calls :meth:`PassVerifier.check` after every
+stage with stage-appropriate :class:`~repro.lint.context.LintOptions`.
+The verifier records every report, attributes the *first* violation to
+the pass that introduced it, and — in ``strict`` mode — raises
+:class:`PassVerificationError` naming that pass, turning a confusing
+downstream failure into "pass X broke invariant Y at location Z".
+
+``warn`` mode keeps running and exposes :attr:`PassVerifier.first_offender`
+and :meth:`PassVerifier.summary` for post-hoc inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.diagnostics import DiagnosticReport, LintError, Severity
+from repro.ir.function import Function
+from repro.lint.context import LintOptions
+from repro.lint.rules import run_lint
+
+__all__ = ["PassCheckRecord", "PassVerificationError", "PassVerifier"]
+
+
+@dataclass
+class PassCheckRecord:
+    """One lint run after one pass."""
+
+    pass_name: str
+    report: DiagnosticReport
+
+
+class PassVerificationError(LintError):
+    """Strict-mode failure: the named pass produced invalid IR."""
+
+    def __init__(self, pass_name: str, report: DiagnosticReport) -> None:
+        self.pass_name = pass_name
+        super().__init__(
+            f"IR verification failed after pass {pass_name!r}", report)
+
+
+class PassVerifier:
+    """Collects per-pass lint reports and attributes the first violation.
+
+    Args:
+        mode: ``"strict"`` raises :class:`PassVerificationError` at the
+            first offending pass; ``"warn"`` records and keeps going.
+        fail_on: minimum severity that counts as a violation (default
+            :attr:`Severity.ERROR`; use :attr:`Severity.WARNING` for a
+            pedantic run).
+        base_options: defaults merged under per-check options.
+
+    The optional :attr:`prefix` (e.g. a benchmark name) is prepended to
+    every pass name, so one verifier can instrument a whole experiment
+    and still attribute violations precisely.
+    """
+
+    def __init__(self, mode: str = "strict",
+                 fail_on: Severity = Severity.ERROR,
+                 base_options: Optional[LintOptions] = None) -> None:
+        if mode not in ("strict", "warn"):
+            raise ValueError(f"unknown mode {mode!r}; use 'strict' or 'warn'")
+        self.mode = mode
+        self.fail_on = fail_on
+        self.base_options = base_options
+        self.prefix: Optional[str] = None
+        self.history: List[PassCheckRecord] = []
+        self.first_offender: Optional[PassCheckRecord] = None
+
+    def check(self, fn: Function, pass_name: str,
+              options: Optional[LintOptions] = None) -> DiagnosticReport:
+        """Lint ``fn`` as the output of ``pass_name``.
+
+        Returns the report; in strict mode raises on the first violating
+        pass instead.
+        """
+        if self.prefix:
+            pass_name = f"{self.prefix}:{pass_name}"
+        report = run_lint(fn, options or self.base_options)
+        record = PassCheckRecord(pass_name, report)
+        self.history.append(record)
+        if report.at_least(self.fail_on) and self.first_offender is None:
+            self.first_offender = record
+            if self.mode == "strict":
+                raise PassVerificationError(pass_name, report)
+        return report
+
+    @property
+    def clean(self) -> bool:
+        """No pass so far produced a violation at ``fail_on`` or above."""
+        return self.first_offender is None
+
+    def attribution(self) -> Optional[str]:
+        """One line naming the pass that introduced the first violation."""
+        if self.first_offender is None:
+            return None
+        worst = self.first_offender.report.at_least(self.fail_on)[0]
+        return (f"first violation introduced by pass "
+                f"{self.first_offender.pass_name!r}: {worst.render()}")
+
+    def summary(self) -> str:
+        """Per-pass tallies plus the attribution line."""
+        lines = []
+        for rec in self.history:
+            n_err = len(rec.report.errors)
+            n_warn = len(rec.report.warnings)
+            status = "ok" if not (n_err or n_warn) else \
+                f"{n_err} error(s), {n_warn} warning(s)"
+            lines.append(f"{rec.pass_name}: {status}")
+        attribution = self.attribution()
+        if attribution:
+            lines.append(attribution)
+        return "\n".join(lines) if lines else "no passes checked"

@@ -21,7 +21,7 @@ instructions for it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.encoding.config import EncodingConfig
 from repro.encoding.encoder import EncodedFunction, encode_function
@@ -33,6 +33,9 @@ from repro.regalloc.diff_select import DifferentialSelector
 from repro.regalloc.iterated import iterated_allocate
 from repro.regalloc.optimal_spill import optimal_spill_allocate
 from repro.regalloc.remap import differential_remap
+
+if TYPE_CHECKING:  # the verifier is duck-typed at runtime: regalloc never
+    from repro.lint import PassVerifier  # imports lint at module level
 
 __all__ = ["AllocatedProgram", "run_setup", "SETUPS"]
 
@@ -126,7 +129,9 @@ def run_setup(fn: Function, setup: str,
               use_ilp: bool = True,
               verify: bool = True,
               access_order: str = "src_first",
-              freq: Optional[Dict[str, float]] = None) -> AllocatedProgram:
+              freq: Optional[Dict[str, float]] = None,
+              pass_verifier: Optional["PassVerifier"] = None
+              ) -> AllocatedProgram:
     """Run one function through one of the five Section 10.1 setups.
 
     ``base_k`` is the directly encodable register count (the THUMB-like 8);
@@ -136,9 +141,26 @@ def run_setup(fn: Function, setup: str,
     frequencies (e.g. from :func:`repro.analysis.profile.
     profile_block_frequencies`); the default is the static loop-nest
     estimate the paper uses.
+
+    ``pass_verifier`` — a :class:`repro.lint.PassVerifier` — runs the
+    static IR checker after every stage (input, allocation, encoding) with
+    stage-appropriate expectations, attributing the first invariant
+    violation to the pass that introduced it (``--verify-each-pass``).
     """
     config = EncodingConfig(reg_n=reg_n, diff_n=diff_n, access_order=access_order)
     encoded: Optional[EncodedFunction] = None
+
+    def checkpoint(stage: str, f: Function, **expectations) -> None:
+        if pass_verifier is None:
+            return
+        from repro.lint import LintOptions  # lazy: keeps layering acyclic
+
+        pass_verifier.check(
+            f, f"{setup}:{stage}",
+            LintOptions(access_order=access_order, **expectations),
+        )
+
+    checkpoint("input", fn)
 
     def remap_candidates(allocated_fn: Function) -> list:
         """The function itself plus remappings under both adjacency
@@ -157,26 +179,34 @@ def run_setup(fn: Function, setup: str,
     if setup == "baseline":
         alloc = iterated_allocate(fn, base_k, freq=freq)
         final = alloc.fn
+        checkpoint("alloc:iterated", final, allocated=True, k=base_k)
     elif setup == "remapping":
         alloc = iterated_allocate(fn, reg_n, freq=freq)
+        checkpoint("alloc:iterated", alloc.fn, allocated=True, k=reg_n)
         encoded = _encode_best(remap_candidates(alloc.fn), config, freq)
         final = encoded.fn
+        checkpoint("encode:remap", final, allocated=True, encoding=config)
     elif setup == "select":
         selector = DifferentialSelector(reg_n, diff_n, order=access_order)
         alloc = iterated_allocate(fn, reg_n, selector=selector, freq=freq)
+        checkpoint("alloc:diff_select", alloc.fn, allocated=True, k=reg_n)
         # "differential remapping can always be invoked after approach 2 or
         # 3" (Section 3); kept only when the real encoding improves
         encoded = _encode_best(remap_candidates(alloc.fn), config, freq)
         final = encoded.fn
+        checkpoint("encode:remap", final, allocated=True, encoding=config)
     elif setup == "ospill":
         alloc = optimal_spill_allocate(fn, base_k, use_ilp=use_ilp, freq=freq)
         final = alloc.fn
+        checkpoint("alloc:ospill", final, allocated=True, k=base_k)
     elif setup == "coalesce":
         alloc = differential_coalesce_allocate(
             fn, reg_n, diff_n, order=access_order, use_ilp=use_ilp, freq=freq
         )
+        checkpoint("alloc:diff_coalesce", alloc.fn, allocated=True, k=reg_n)
         encoded = _encode_best(remap_candidates(alloc.fn), config, freq)
         final = encoded.fn
+        checkpoint("encode:remap", final, allocated=True, encoding=config)
     else:
         raise ValueError(f"unknown setup {setup!r}; expected one of {SETUPS}")
 

@@ -1,0 +1,198 @@
+"""Pass-pipeline instrumentation tests: PassVerifier, run_setup wiring,
+encoder preconditions, and parser diagnostics."""
+
+import pytest
+
+from repro.encoding.config import EncodingConfig
+from repro.encoding.encoder import encode_function, encoding_preconditions
+from repro.ir.parser import ParseError, parse_function
+from repro.lint import (
+    LintError,
+    LintOptions,
+    PassVerificationError,
+    PassVerifier,
+    Severity,
+)
+from repro.regalloc.pipeline import SETUPS, run_setup
+from repro.workloads.mibench import MIBENCH
+
+
+def _broken_alloc_fn():
+    """Pretends to be post-allocation but kept a virtual register."""
+    return parse_function("""
+    func f():
+    entry:
+        li r0, 1
+        mov v1, r0
+        ret v1
+    """)
+
+
+def _clean_fn():
+    return parse_function("""
+    func f():
+    entry:
+        li r0, 1
+        ret r0
+    """)
+
+
+# ----------------------------------------------------------------------
+# PassVerifier
+# ----------------------------------------------------------------------
+
+def test_strict_mode_raises_at_the_offending_pass():
+    v = PassVerifier(mode="strict")
+    v.check(_clean_fn(), "input")
+    with pytest.raises(PassVerificationError) as exc_info:
+        v.check(_broken_alloc_fn(), "myalloc", LintOptions(allocated=True))
+    err = exc_info.value
+    assert err.pass_name == "myalloc"
+    assert "after pass 'myalloc'" in str(err)
+    assert err.report.by_rule("L003")
+    assert isinstance(err, LintError)  # and hence a ValueError
+
+
+def test_warn_mode_records_first_offender():
+    v = PassVerifier(mode="warn")
+    v.check(_clean_fn(), "input")
+    v.check(_broken_alloc_fn(), "alloc", LintOptions(allocated=True))
+    v.check(_broken_alloc_fn(), "later", LintOptions(allocated=True))
+    assert not v.clean
+    assert v.first_offender is not None
+    assert v.first_offender.pass_name == "alloc"  # first, not last
+    assert len(v.history) == 3
+    assert "introduced by pass 'alloc'" in v.attribution()
+    summary = v.summary()
+    assert "input: ok" in summary
+    assert "alloc: 1 error(s), 0 warning(s)" in summary
+
+
+def test_clean_run_has_no_attribution():
+    v = PassVerifier(mode="strict")
+    v.check(_clean_fn(), "input")
+    assert v.clean
+    assert v.attribution() is None
+    assert v.summary() == "input: ok"
+
+
+def test_prefix_labels_every_pass():
+    v = PassVerifier(mode="warn")
+    v.prefix = "crc32"
+    v.check(_clean_fn(), "input")
+    assert v.history[0].pass_name == "crc32:input"
+
+
+def test_fail_on_threshold():
+    # a physical register read before definition is only a WARNING
+    fn = parse_function("""
+    func f():
+    entry:
+        mov r0, r5
+        ret r0
+    """)
+    PassVerifier(mode="strict").check(fn, "p")  # default: errors only
+    v = PassVerifier(mode="strict", fail_on=Severity.WARNING)
+    with pytest.raises(PassVerificationError):
+        v.check(fn, "p")
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError, match="unknown mode"):
+        PassVerifier(mode="loose")
+
+
+# ----------------------------------------------------------------------
+# run_setup wiring (--verify-each-pass)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("setup", SETUPS)
+def test_run_setup_verifies_each_pass_clean(setup):
+    w = next(w for w in MIBENCH if w.name == "crc32")
+    v = PassVerifier(mode="strict")
+    run_setup(w.function(), setup, remap_restarts=2, pass_verifier=v)
+    assert v.clean
+    names = [rec.pass_name for rec in v.history]
+    assert names[0] == f"{setup}:input"
+    assert len(names) >= 2  # input + at least one allocation stage
+    if setup in ("remapping", "select", "coalesce"):
+        assert f"{setup}:encode:remap" in names
+
+
+def test_run_setup_without_verifier_checks_nothing():
+    w = next(w for w in MIBENCH if w.name == "crc32")
+    prog = run_setup(w.function(), "baseline")
+    assert prog.final_fn is not None
+
+
+# ----------------------------------------------------------------------
+# encoder preconditions (satellite: lint-as-precondition)
+# ----------------------------------------------------------------------
+
+def test_encoder_rejects_virtual_registers_with_lint_error():
+    config = EncodingConfig(reg_n=12, diff_n=8)
+    with pytest.raises(LintError) as exc_info:
+        encode_function(_broken_alloc_fn(), config)
+    report = exc_info.value.report
+    assert report.by_rule("L003")
+    assert "virtual register v1" in str(exc_info.value)
+
+
+def test_encoding_preconditions_report_without_raising():
+    config = EncodingConfig(reg_n=12, diff_n=8)
+    report = encoding_preconditions(_broken_alloc_fn(), config)
+    assert not report.ok
+    assert report.by_rule("L003")
+    assert encoding_preconditions(_clean_fn(), config).ok
+
+
+def test_encoding_preconditions_out_of_space_register():
+    fn = parse_function("""
+    func f():
+    entry:
+        li r13, 1
+        ret r13
+    """)
+    report = encoding_preconditions(fn, EncodingConfig(reg_n=12, diff_n=8))
+    diags = report.by_rule("L004")
+    assert len(diags) == 1
+    assert "outside differential space" in diags[0].message
+
+
+# ----------------------------------------------------------------------
+# parser diagnostics (satellite: line numbers + shared objects)
+# ----------------------------------------------------------------------
+
+def test_parse_error_carries_line_number():
+    with pytest.raises(ParseError) as exc_info:
+        parse_function("func f():\nentry:\n    add v1, v2\n    ret v1\n")
+    err = exc_info.value
+    assert err.line == 3
+    assert err.diagnostic.rule == "P001"
+    assert "line 3" in str(err)            # historical message contract
+    assert "line 3" not in err.diagnostic.message  # no duplication
+    assert "line 3" in str(err.diagnostic.location)
+
+
+def test_parse_error_carries_filename():
+    with pytest.raises(ParseError) as exc_info:
+        parse_function("func f():\nentry:\n    bogus v1\n    ret v1\n",
+                       filename="prog.s")
+    loc = exc_info.value.diagnostic.location
+    assert loc.file == "prog.s"
+    assert loc.line == 3
+    assert exc_info.value.diagnostic.render().startswith("prog.s:line 3:")
+
+
+def test_parse_error_duplicate_label_names_both_lines():
+    text = "func f():\nentry:\n    ret v1\nentry:\n    ret v1\n"
+    with pytest.raises(ParseError, match="first defined on line 2") as ei:
+        parse_function(text)
+    assert ei.value.line == 4
+
+
+def test_parse_error_structural_checks_are_line_anchored():
+    text = "func f():\nentry:\n    br exit\n    li v1, 1\nexit:\n    ret v1\n"
+    with pytest.raises(ParseError, match="after terminator") as ei:
+        parse_function(text)
+    assert ei.value.line == 4  # the unreachable tail, not the branch

@@ -1,0 +1,563 @@
+"""Adversarial tests for the lint rule catalogue (L001-L009).
+
+Each test hand-builds one broken function and asserts that exactly the
+expected rule fires, with the right severity and location.  Broken CFGs
+are assembled through ``BasicBlock``/``Function`` directly (constructors
+do not validate); well-formed fixtures go through the parser.
+"""
+
+import pytest
+
+from repro.encoding.config import EncodingConfig
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instr import Instr, phys, vreg
+from repro.ir.parser import parse_function
+from repro.lint import LintOptions, Severity, run_lint
+from repro.regalloc.callconv import CallingConvention
+
+
+def _block(name, *instrs):
+    b = BasicBlock(name)
+    for i in instrs:
+        b.append(i)
+    return b
+
+
+def _only_rule(report, rule_id):
+    """Assert every finding in ``report`` belongs to ``rule_id``."""
+    others = [d for d in report if d.rule != rule_id]
+    assert not others, f"unexpected findings: {[d.render() for d in others]}"
+    return report.by_rule(rule_id)
+
+
+# ----------------------------------------------------------------------
+# L001 — CFG well-formedness
+# ----------------------------------------------------------------------
+
+def test_l001_empty_function():
+    report = run_lint(Function("f", []))
+    diags = _only_rule(report, "L001")
+    assert len(diags) == 1
+    assert diags[0].severity == Severity.ERROR
+    assert "no basic blocks" in diags[0].message
+    assert diags[0].location.function == "f"
+
+
+def test_l001_terminator_mid_block():
+    fn = Function("f", [_block(
+        "entry",
+        Instr("li", dst=phys(0), imm=1),
+        Instr("ret", srcs=(phys(0),)),
+        Instr("li", dst=phys(1), imm=2),
+        Instr("ret", srcs=(phys(1),)),
+    )])
+    diags = run_lint(fn).by_rule("L001")
+    assert len(diags) == 1
+    assert diags[0].severity == Severity.ERROR
+    assert "not the last instruction" in diags[0].message
+    assert diags[0].location.block == "entry"
+    assert diags[0].location.instr_index == 1
+
+
+def test_l001_branch_to_unknown_block():
+    fn = Function("f", [_block(
+        "entry",
+        Instr("br", label="nowhere"),
+    )])
+    diags = _only_rule(run_lint(fn), "L001")
+    assert len(diags) == 1
+    assert "unknown block 'nowhere'" in diags[0].message
+    assert diags[0].location.block == "entry"
+    assert diags[0].location.instr_index == 0
+
+
+def test_l001_missing_terminator():
+    fn = Function("f", [_block("entry", Instr("li", dst=phys(0), imm=1))])
+    diags = run_lint(fn).by_rule("L001")
+    assert len(diags) == 1
+    assert "falls off the end" in diags[0].message
+    assert diags[0].severity == Severity.ERROR
+
+
+# ----------------------------------------------------------------------
+# L002 — def-before-use on every path
+# ----------------------------------------------------------------------
+
+def test_l002_use_before_def_on_one_path():
+    fn = parse_function("""
+    func f(v1):
+    entry:
+        beq v1, v1, left
+    right:
+        br join
+    left:
+        li v2, 1
+        br join
+    join:
+        add v3, v2, v1
+        ret v3
+    """)
+    report = run_lint(fn)
+    diags = _only_rule(report, "L002")
+    assert len(diags) == 1
+    assert diags[0].severity == Severity.ERROR
+    assert "v2" in diags[0].message
+    # anchored at the first upward-exposed use, not at the entry block
+    assert diags[0].location.block == "join"
+    assert diags[0].location.instr_index == 0
+
+
+def test_l002_physical_register_is_only_a_warning():
+    fn = parse_function("""
+    func f():
+    entry:
+        mov r0, r5
+        ret r0
+    """)
+    diags = _only_rule(run_lint(fn), "L002")
+    assert len(diags) == 1
+    assert diags[0].severity == Severity.WARNING
+    assert "r5" in diags[0].message
+
+
+def test_l002_clean_when_defined_on_all_paths():
+    fn = parse_function("""
+    func f(v1):
+    entry:
+        beq v1, v1, left
+    right:
+        li v2, 2
+        br join
+    left:
+        li v2, 1
+        br join
+    join:
+        ret v2
+    """)
+    assert not run_lint(fn).by_rule("L002")
+
+
+# ----------------------------------------------------------------------
+# L003 — virtual/physical mixing
+# ----------------------------------------------------------------------
+
+def test_l003_virtual_register_after_allocation():
+    fn = parse_function("""
+    func f():
+    entry:
+        li r0, 1
+        mov v1, r0
+        ret v1
+    """)
+    report = run_lint(fn, LintOptions(allocated=True))
+    diags = _only_rule(report, "L003")
+    assert len(diags) == 1
+    assert diags[0].severity == Severity.ERROR
+    assert "virtual register v1" in diags[0].message
+    assert diags[0].location.block == "entry"
+    assert diags[0].location.instr_index == 1
+
+
+def test_l003_mixing_before_allocation_is_a_note():
+    fn = parse_function("""
+    func f():
+    entry:
+        li r0, 1
+        mov v1, r0
+        ret v1
+    """)
+    diags = run_lint(fn).by_rule("L003")
+    assert len(diags) == 1
+    assert diags[0].severity == Severity.NOTE
+    assert "mixes virtual and physical" in diags[0].message
+
+
+def test_l003_virtual_parameter_after_allocation():
+    fn = parse_function("""
+    func f(v9):
+    entry:
+        li r0, 1
+        ret r0
+    """)
+    report = run_lint(fn, LintOptions(allocated=True))
+    diags = report.by_rule("L003")
+    assert len(diags) == 1
+    assert "function parameter" in diags[0].message
+
+
+# ----------------------------------------------------------------------
+# L004 — register-class / budget legality
+# ----------------------------------------------------------------------
+
+def test_l004_register_beyond_k_budget():
+    fn = parse_function("""
+    func f():
+    entry:
+        li r9, 1
+        ret r9
+    """)
+    report = run_lint(fn, LintOptions(allocated=True, k=8))
+    diags = _only_rule(report, "L004")
+    assert len(diags) == 1
+    assert diags[0].severity == Severity.ERROR
+    assert "r9 exceeds the k=8 budget" in diags[0].message
+    assert diags[0].location.instr_index == 0
+
+
+def test_l004_register_outside_differential_space():
+    fn = parse_function("""
+    func f():
+    entry:
+        li r12, 1
+        ret r12
+    """)
+    config = EncodingConfig(reg_n=12, diff_n=8)
+    report = run_lint(fn, LintOptions(allocated=True, encoding=config))
+    diags = _only_rule(report, "L004")
+    assert len(diags) == 1
+    assert "outside differential space [0, 12)" in diags[0].message
+
+
+def test_l004_clean_inside_budget():
+    fn = parse_function("""
+    func f():
+    entry:
+        li r7, 1
+        ret r7
+    """)
+    report = run_lint(fn, LintOptions(
+        allocated=True, k=8, encoding=EncodingConfig(reg_n=12, diff_n=8)))
+    assert not report.by_rule("L004")
+
+
+# ----------------------------------------------------------------------
+# L005 — calling-convention legality
+# ----------------------------------------------------------------------
+
+def test_l005_argument_out_of_convention_home():
+    fn = Function("f", [_block(
+        "entry",
+        Instr("li", dst=phys(5), imm=1),
+        Instr("call", label="g", call_uses=(phys(5),), call_defs=(phys(0),)),
+        Instr("ret", srcs=(phys(0),)),
+    )])
+    cc = CallingConvention()
+    report = run_lint(fn, LintOptions(cc=cc, allocated=True))
+    diags = _only_rule(report, "L005")
+    assert len(diags) == 1
+    assert diags[0].severity == Severity.ERROR
+    assert "argument 0 of call g is in r5" in diags[0].message
+    assert "expects r0" in diags[0].message
+    assert diags[0].location.instr_index == 1
+
+
+def test_l005_return_out_of_convention_home():
+    fn = Function("f", [_block(
+        "entry",
+        Instr("li", dst=phys(0), imm=1),
+        Instr("call", label="g", call_uses=(phys(0),), call_defs=(phys(6),)),
+        Instr("ret", srcs=(phys(6),)),
+    )])
+    diags = run_lint(fn, LintOptions(cc=CallingConvention())).by_rule("L005")
+    assert len(diags) == 1
+    assert "return value of call g lands in r6" in diags[0].message
+
+
+def test_l005_silent_without_convention():
+    fn = Function("f", [_block(
+        "entry",
+        Instr("li", dst=phys(5), imm=1),
+        Instr("call", label="g", call_uses=(phys(5),), call_defs=(phys(0),)),
+        Instr("ret", srcs=(phys(0),)),
+    )])
+    assert not run_lint(fn).by_rule("L005")
+
+
+# ----------------------------------------------------------------------
+# L006 — two-address conformance
+# ----------------------------------------------------------------------
+
+def test_l006_three_address_form_rejected():
+    fn = parse_function("""
+    func f(r0, r1):
+    entry:
+        add r2, r0, r1
+        ret r2
+    """)
+    report = run_lint(fn, LintOptions(access_order="two_address"))
+    diags = _only_rule(report, "L006")
+    assert len(diags) == 1
+    assert diags[0].severity == Severity.ERROR
+    assert "not in two-address form" in diags[0].message
+    assert diags[0].location.instr_index == 0
+
+
+def test_l006_commutative_dst_src2_rejected():
+    fn = parse_function("""
+    func f(r0, r1):
+    entry:
+        add r1, r0, r1
+        ret r1
+    """)
+    diags = run_lint(fn, LintOptions(two_address=True)).by_rule("L006")
+    assert len(diags) == 1
+    assert diags[0].severity == Severity.ERROR
+    assert "dst == src2" in diags[0].message
+
+
+def test_l006_noncommutative_residual_is_a_warning():
+    fn = parse_function("""
+    func f(r0, r1):
+    entry:
+        sub r1, r0, r1
+        ret r1
+    """)
+    diags = run_lint(fn, LintOptions(two_address=True)).by_rule("L006")
+    assert len(diags) == 1
+    assert diags[0].severity == Severity.WARNING
+
+
+def test_l006_inactive_by_default():
+    fn = parse_function("""
+    func f(r0, r1):
+    entry:
+        add r2, r0, r1
+        ret r2
+    """)
+    assert not run_lint(fn).by_rule("L006")
+
+
+# ----------------------------------------------------------------------
+# L007 — set_last_reg placement and payload
+# ----------------------------------------------------------------------
+
+def test_l007_malformed_payload():
+    fn = Function("f", [_block(
+        "entry",
+        Instr("setlr", imm=7),
+        Instr("li", dst=phys(0), imm=1),
+        Instr("ret", srcs=(phys(0),)),
+    )])
+    diags = _only_rule(run_lint(fn), "L007")
+    assert len(diags) == 1
+    assert diags[0].severity == Severity.ERROR
+    assert "malformed set_last_reg payload" in diags[0].message
+    assert diags[0].location.instr_index == 0
+
+
+def test_l007_negative_delay():
+    fn = Function("f", [_block(
+        "entry",
+        Instr("setlr", imm=(3, -1)),
+        Instr("li", dst=phys(0), imm=1),
+        Instr("ret", srcs=(phys(0),)),
+    )])
+    diags = run_lint(fn).by_rule("L007")
+    assert len(diags) == 1
+    assert "negative" in diags[0].message
+
+
+def test_l007_value_outside_differential_space():
+    fn = Function("f", [_block(
+        "entry",
+        Instr("setlr", imm=(99, 0)),
+        Instr("li", dst=phys(0), imm=1),
+        Instr("ret", srcs=(phys(0),)),
+    )])
+    config = EncodingConfig(reg_n=12, diff_n=8)
+    diags = run_lint(
+        fn, LintOptions(allocated=True, encoding=config)).by_rule("L007")
+    assert len(diags) == 1
+    assert "value 99 outside the differential space [0, 12)" \
+        in diags[0].message
+
+
+def test_l007_delay_exceeds_next_field_count():
+    # mov has two register fields; a delay of 3 can never apply
+    fn = Function("f", [_block(
+        "entry",
+        Instr("li", dst=phys(1), imm=1),
+        Instr("setlr", imm=(3, 3)),
+        Instr("mov", dst=phys(0), srcs=(phys(1),)),
+        Instr("ret", srcs=(phys(0),)),
+    )])
+    diags = _only_rule(run_lint(fn), "L007")
+    assert len(diags) == 1
+    assert "delay 3 exceeds the 2 register field(s)" in diags[0].message
+    assert diags[0].location.instr_index == 1
+
+
+def test_l007_clean_payload():
+    fn = Function("f", [_block(
+        "entry",
+        Instr("setlr", imm=(3, 1)),
+        Instr("li", dst=phys(0), imm=1),
+        Instr("ret", srcs=(phys(0),)),
+    )])
+    assert not run_lint(fn).by_rule("L007")
+
+
+# ----------------------------------------------------------------------
+# L008 — spill-slot initialization / aliasing
+# ----------------------------------------------------------------------
+
+def test_l008_load_never_stored():
+    fn = parse_function("""
+    func f():
+    entry:
+        ldslot r0, slot0
+        ret r0
+    """)
+    diags = _only_rule(run_lint(fn), "L008")
+    assert len(diags) == 1
+    assert diags[0].severity == Severity.ERROR
+    assert "loaded but never stored on any path" in diags[0].message
+    assert diags[0].location.block == "entry"
+    assert diags[0].location.instr_index == 0
+
+
+def test_l008_store_on_one_path_only():
+    fn = parse_function("""
+    func f(r0):
+    entry:
+        beq r0, r0, left
+    right:
+        br join
+    left:
+        stslot r0, slot0
+        br join
+    join:
+        ldslot r1, slot0
+        ret r1
+    """)
+    diags = run_lint(fn).by_rule("L008")
+    assert len(diags) == 1
+    assert diags[0].severity == Severity.WARNING
+    assert "may be uninitialized on some path" in diags[0].message
+    assert diags[0].location.block == "join"
+
+
+def test_l008_dead_store():
+    fn = parse_function("""
+    func f(r0):
+    entry:
+        stslot r0, slot3
+        ret r0
+    """)
+    diags = _only_rule(run_lint(fn), "L008")
+    assert len(diags) == 1
+    assert diags[0].severity == Severity.WARNING
+    assert "stored but never loaded afterwards" in diags[0].message
+
+
+def test_l008_clean_spill_pattern():
+    fn = parse_function("""
+    func f(r0):
+    entry:
+        stslot r0, slot0
+        ldslot r1, slot0
+        ret r1
+    """)
+    assert not run_lint(fn).by_rule("L008")
+
+
+def test_l008_store_in_loop_is_live_around_backedge():
+    fn = parse_function("""
+    func f(r0):
+    entry:
+        stslot r0, slot0
+        br loop
+    loop:
+        ldslot r1, slot0
+        stslot r1, slot0
+        bne r1, r0, loop
+    exit:
+        ret r1
+    """)
+    assert not run_lint(fn).by_rule("L008")
+
+
+# ----------------------------------------------------------------------
+# L009 — dead / duplicate blocks
+# ----------------------------------------------------------------------
+
+def test_l009_unreachable_block():
+    fn = parse_function("""
+    func f():
+    entry:
+        li r0, 1
+        ret r0
+    dead:
+        li r1, 2
+        ret r1
+    """)
+    diags = _only_rule(run_lint(fn), "L009")
+    assert len(diags) == 1
+    assert diags[0].severity == Severity.WARNING
+    assert "'dead' is unreachable" in diags[0].message
+    assert diags[0].location.block == "dead"
+
+
+def test_l009_duplicate_blocks():
+    fn = parse_function("""
+    func f(r0):
+    entry:
+        beq r0, r0, a
+    fall:
+        br b
+    a:
+        li r1, 1
+        br end
+    b:
+        li r1, 1
+        br end
+    end:
+        ret r1
+    """)
+    diags = run_lint(fn).by_rule("L009")
+    assert len(diags) == 1
+    assert diags[0].severity == Severity.NOTE
+    assert "duplicates block" in diags[0].message
+
+
+# ----------------------------------------------------------------------
+# driver behaviour
+# ----------------------------------------------------------------------
+
+def test_disabled_rules_are_skipped():
+    fn = parse_function("""
+    func f():
+    entry:
+        ldslot r0, slot0
+        ret r0
+    """)
+    report = run_lint(fn, LintOptions(disabled=frozenset({"L008"})))
+    assert not report.by_rule("L008")
+    # disabling by name works too
+    report = run_lint(fn, LintOptions(disabled=frozenset({"spill-slot"})))
+    assert not report.by_rule("L008")
+
+
+def test_only_restricts_the_rule_set():
+    fn = parse_function("""
+    func f():
+    entry:
+        ldslot r0, slot0
+        ret r0
+    """)
+    report = run_lint(fn, only=["L001"])
+    assert len(report) == 0
+
+
+def test_dataflow_rules_skip_on_broken_cfg():
+    # branch to a dangling label: L001 reports, the needs_cfg rules
+    # (which would crash on the missing block) stay silent
+    fn = Function("f", [_block(
+        "entry",
+        Instr("ldslot", dst=phys(0), imm=0),
+        Instr("br", label="nowhere"),
+    )])
+    report = run_lint(fn)
+    assert report.by_rule("L001")
+    assert not report.by_rule("L008")
+    assert not report.by_rule("L002")
