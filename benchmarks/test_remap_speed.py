@@ -1,0 +1,68 @@
+"""Benchmark: the incremental remap kernel vs the O(E) reference.
+
+Runs the :mod:`repro.benchtrack` harness — the full RegN=16 / 100-restart
+descent schedule on sha, reference vs incremental engine, plus the RegN
+sweep serial vs parallel — writes ``BENCH_remap.json`` for the CI artifact
+upload, and asserts the two properties the rewrite promised: identical
+results and a real speedup.  The speedup floor asserted here is below the
+~8x measured on a quiet machine, leaving margin for noisy CI runners.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.benchtrack import bench_remap_descent, bench_sweep, write_bench_json
+
+BENCH_JSON = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "BENCH_remap.json")
+
+
+@pytest.fixture(scope="module")
+def remap_doc():
+    return bench_remap_descent(workload="sha", reg_n=16, restarts=100)
+
+
+@pytest.fixture(scope="module")
+def sweep_doc():
+    return bench_sweep(n_workloads=2, reg_ns=(8, 12), remap_restarts=4,
+                       jobs=2)
+
+
+def test_incremental_identical_to_reference(remap_doc):
+    assert remap_doc["identical_results"]
+
+
+def test_incremental_speedup(remap_doc):
+    assert remap_doc["speedup"] >= 3.0, remap_doc
+
+
+def test_sweep_parallel_identical(sweep_doc):
+    assert sweep_doc["identical_results"]
+
+
+def test_bench_json_written(remap_doc, sweep_doc):
+    doc = write_bench_json(BENCH_JSON, doc={
+        "schema": 1, "remap": remap_doc, "sweep": sweep_doc,
+    })
+    with open(BENCH_JSON) as f:
+        assert json.load(f) == doc
+
+
+def test_engine_descend_throughput(benchmark, remap_doc):
+    """Track the engine's absolute descent rate over benchmark history."""
+    from repro.analysis.frequency import estimate_block_frequencies
+    from repro.regalloc.iterated import iterated_allocate
+    from repro.regalloc.remap import _edge_list, _make_engine, _start_perms
+    from repro.workloads import get_workload
+
+    fn = iterated_allocate(get_workload("sha").function(), 16).fn
+    freq = estimate_block_frequencies(fn)
+    edges = _edge_list(fn, 16, "src_first", freq)
+    free = list(range(16))
+    engine = _make_engine(edges, 16, 8, free)
+    starts = _start_perms(list(range(16)), free, 20, 0)
+
+    costs = benchmark(lambda: [engine.descend(list(s)) for s in starts])
+    assert min(costs) >= 0

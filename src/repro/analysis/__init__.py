@@ -17,6 +17,11 @@ from repro.analysis.pressure import (
     loop_pressure_regions,
 )
 from repro.analysis.adjacency import AdjacencyGraph, build_adjacency
+from repro.analysis.cache import (
+    analysis_cache_stats,
+    clear_analysis_cache,
+    set_analysis_cache_enabled,
+)
 from repro.analysis.webs import split_webs
 
 __all__ = [
@@ -37,4 +42,7 @@ __all__ = [
     "AdjacencyGraph",
     "build_adjacency",
     "split_webs",
+    "analysis_cache_stats",
+    "clear_analysis_cache",
+    "set_analysis_cache_enabled",
 ]

@@ -176,7 +176,23 @@ def build_adjacency(fn: Function, order: str = "src_first", cls: str = "int",
     however many predecessors disagree, at most one ``set_last_reg`` at the
     head of ``B`` repairs them all, so the expected cost is divided.
     Predecessors with no register accesses contribute nothing.
+
+    Built graphs are memoized on the function's structural fingerprint
+    plus ``(order, cls, freq)`` — remapping and selection build the same
+    graph for the same allocation repeatedly.  Each call returns a private
+    :meth:`AdjacencyGraph.copy`, because coalescing mutates its graph via
+    :meth:`AdjacencyGraph.merge`.
     """
+    from repro.analysis.cache import fingerprint_function, memoize_analysis
+
+    freq_key = None if freq is None else tuple(sorted(freq.items()))
+    key = ("adjacency", order, cls, freq_key, fingerprint_function(fn))
+    graph = memoize_analysis(key, lambda: _build_adjacency(fn, order, cls, freq))
+    return graph.copy()
+
+
+def _build_adjacency(fn: Function, order: str, cls: str,
+                     freq: Optional[Mapping[str, float]]) -> AdjacencyGraph:
     g = AdjacencyGraph()
     _, preds = fn.cfg()
     block_seqs: Dict[str, List[Reg]] = {

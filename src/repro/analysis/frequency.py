@@ -17,8 +17,18 @@ __all__ = ["estimate_block_frequencies"]
 
 
 def estimate_block_frequencies(fn: Function, loop_factor: float = 10.0) -> Dict[str, float]:
-    """Block name -> estimated relative execution frequency."""
-    return {
+    """Block name -> estimated relative execution frequency.
+
+    Memoized on the CFG shape only (block layout + terminators): register
+    allocation and encoding rewrite straight-line code without moving
+    branches, so every stage of a pipeline hits the entry its predecessor
+    warmed.  Callers get a fresh dict — mutating it cannot poison the
+    cache.
+    """
+    from repro.analysis.cache import fingerprint_cfg, memoize_analysis
+
+    key = ("freq", loop_factor, fn.name, fingerprint_cfg(fn))
+    return dict(memoize_analysis(key, lambda: {
         name: loop_factor ** depth
         for name, depth in loop_depths(fn).items()
-    }
+    }))

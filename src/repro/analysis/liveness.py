@@ -48,7 +48,21 @@ def _block_use_def(block) -> tuple:
 
 
 def compute_liveness(fn: Function) -> LivenessInfo:
-    """Iterative backward may-liveness to a fixed point."""
+    """Iterative backward may-liveness to a fixed point.
+
+    Results are memoized on the function's structural fingerprint (see
+    :mod:`repro.analysis.cache`): the pipeline asks for liveness of the
+    same function at several stages, and sweeps re-analyse identical
+    copies.  The returned object is shared between hits — treat it as
+    read-only (every set in it is frozen).
+    """
+    from repro.analysis.cache import fingerprint_function, memoize_analysis
+
+    key = ("liveness", fingerprint_function(fn))
+    return memoize_analysis(key, lambda: _compute_liveness(fn))
+
+
+def _compute_liveness(fn: Function) -> LivenessInfo:
     succs, _ = fn.cfg()
     use: Dict[str, FrozenSet[Reg]] = {}
     defs: Dict[str, FrozenSet[Reg]] = {}

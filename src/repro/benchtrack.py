@@ -1,0 +1,140 @@
+"""Wall-clock benchmark harness for the incremental remap kernel.
+
+Times the rewritten greedy-descent engine against the retained
+O(E)-per-candidate reference (:func:`repro.regalloc.remap.
+_greedy_descent_reference`) and the serial RegN sweep against its
+process-pool fan-out, then emits the measurements as ``BENCH_remap.json``.
+CI uploads the file as an artifact, so the speedups are tracked run over
+run; ``python -m repro bench-remap`` produces it locally.
+
+Every timed comparison also cross-checks outputs: the incremental engine
+must return exactly the reference's costs and permutations, and the
+parallel sweep exactly the serial sweep's points — a benchmark that got
+faster by changing answers is a bug, not a result.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, Optional, Sequence
+
+__all__ = ["bench_remap_descent", "bench_sweep", "collect_benchmarks",
+           "write_bench_json"]
+
+BENCH_SCHEMA = 1
+
+
+def bench_remap_descent(workload: str = "sha", reg_n: int = 16,
+                        diff_n: int = 8, restarts: int = 100,
+                        seed: int = 0) -> Dict[str, object]:
+    """Time the full restart schedule, reference vs incremental engine.
+
+    Both runs descend from the identical starting permutations; the
+    result records wall-times, the speedup, and whether every
+    ``(cost, permutation)`` outcome matched (with exact integer edge
+    weights it always should).
+    """
+    from repro.regalloc.iterated import iterated_allocate
+    from repro.regalloc.remap import (_edge_list, _greedy_descent_reference,
+                                      _make_engine, _start_perms)
+    from repro.analysis.frequency import estimate_block_frequencies
+    from repro.workloads import get_workload
+
+    fn = iterated_allocate(get_workload(workload).function(), reg_n).fn
+    freq = estimate_block_frequencies(fn)
+    edges = _edge_list(fn, reg_n, "src_first", freq)
+    free = list(range(reg_n))
+    starts = _start_perms(list(range(reg_n)), free, restarts, seed)
+
+    # warm-up outside the timed regions: the first engine construction
+    # pays one-time process costs (the numpy import above all)
+    _make_engine(edges, reg_n, diff_n, free).descend(list(starts[0]))
+
+    t0 = time.perf_counter()
+    reference = [
+        (_greedy_descent_reference(p, edges, reg_n, diff_n, free), p)
+        for p in [list(s) for s in starts]
+    ]
+    t_ref = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    engine = _make_engine(edges, reg_n, diff_n, free)
+    incremental = [
+        (engine.descend(p), p) for p in [list(s) for s in starts]
+    ]
+    t_inc = time.perf_counter() - t0
+
+    return {
+        "workload": workload,
+        "reg_n": reg_n,
+        "diff_n": diff_n,
+        "restarts": restarts,
+        "seed": seed,
+        "edges": len(edges),
+        "engine": type(engine).__name__,
+        "reference_seconds": t_ref,
+        "incremental_seconds": t_inc,
+        "speedup": t_ref / t_inc if t_inc else float("inf"),
+        "identical_results": reference == incremental,
+    }
+
+
+def bench_sweep(n_workloads: int = 4,
+                reg_ns: Sequence[int] = (8, 12, 16),
+                remap_restarts: int = 8,
+                jobs: int = 0) -> Dict[str, object]:
+    """Time the RegN sweep grid, serial vs process-pool fan-out."""
+    from repro.experiments.sweep import run_regn_sweep
+    from repro.parallel import resolve_jobs
+    from repro.workloads import MIBENCH
+
+    workloads = MIBENCH[:n_workloads]
+    n_jobs = resolve_jobs(jobs)
+
+    t0 = time.perf_counter()
+    serial = run_regn_sweep(workloads, reg_ns=tuple(reg_ns),
+                            remap_restarts=remap_restarts, jobs=1)
+    t_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = run_regn_sweep(workloads, reg_ns=tuple(reg_ns),
+                              remap_restarts=remap_restarts, jobs=n_jobs)
+    t_parallel = time.perf_counter() - t0
+
+    return {
+        "workloads": [w.name for w in workloads],
+        "reg_ns": list(reg_ns),
+        "remap_restarts": remap_restarts,
+        "jobs": n_jobs,
+        "serial_seconds": t_serial,
+        "parallel_seconds": t_parallel,
+        "speedup": t_serial / t_parallel if t_parallel else float("inf"),
+        "identical_results": serial.points == parallel.points,
+    }
+
+
+def collect_benchmarks(remap_restarts: int = 100,
+                       sweep_jobs: int = 0,
+                       workload: str = "sha",
+                       reg_n: int = 16) -> Dict[str, object]:
+    """All harness measurements as one JSON-ready document."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "remap": bench_remap_descent(workload=workload, reg_n=reg_n,
+                                     restarts=remap_restarts),
+        "sweep": bench_sweep(jobs=sweep_jobs),
+    }
+
+
+def write_bench_json(path: str = "BENCH_remap.json",
+                     doc: Optional[Dict[str, object]] = None,
+                     **kwargs) -> Dict[str, object]:
+    """Run :func:`collect_benchmarks` (unless ``doc`` is given) and write
+    the result to ``path``; returns the document."""
+    if doc is None:
+        doc = collect_benchmarks(**kwargs)
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return doc

@@ -25,13 +25,49 @@ from typing import List, Optional
 __all__ = ["main"]
 
 
+def _resolve_cli_jobs(args) -> Optional[int]:
+    """Validate ``--jobs``, rendering failures through the shared
+    diagnostics machinery.  Returns the worker count, or ``None`` after
+    printing the finding (the caller exits 2)."""
+    from repro.parallel import resolve_jobs
+
+    try:
+        return resolve_jobs(args.jobs)
+    except ValueError as exc:
+        from repro.diagnostics import Diagnostic, Location, Severity
+
+        print(Diagnostic(
+            rule="CLI01", name="bad-jobs", severity=Severity.ERROR,
+            message=str(exc),
+            location=Location(file="--jobs"),
+            hint="pass a non-negative integer; 0 means one worker per core",
+        ).render(), file=sys.stderr)
+        return None
+
+
+def _add_parallel_args(p, with_seed: bool = True) -> None:
+    """The shared ``--jobs``/``--seed`` experiment flags."""
+    p.add_argument("--jobs", type=int, default=1,
+                   help="process-pool workers for the experiment grid "
+                        "(0 = all cores; results are identical for any "
+                        "value)")
+    if with_seed:
+        p.add_argument("--seed", type=int, default=0,
+                       help="seed for the remapping search's random "
+                            "restarts")
+
+
 def _cmd_lowend(args) -> int:
     from repro.experiments import run_lowend_experiment
 
+    jobs = _resolve_cli_jobs(args)
+    if jobs is None:
+        return 2
     exp = run_lowend_experiment(remap_restarts=args.restarts,
                                 profile=not args.static_weights,
                                 verify_each_pass=args.verify_each_pass,
-                                lint_mode=args.lint_mode)
+                                lint_mode=args.lint_mode,
+                                jobs=jobs, seed=args.seed)
     if exp.pass_verifier is not None and not exp.pass_verifier.clean:
         print(exp.pass_verifier.attribution(), file=sys.stderr)
     figures = {
@@ -49,7 +85,10 @@ def _cmd_lowend(args) -> int:
 def _cmd_swp(args) -> int:
     from repro.experiments import run_swp_experiment
 
-    exp = run_swp_experiment(n_loops=args.loops, seed=args.seed)
+    jobs = _resolve_cli_jobs(args)
+    if jobs is None:
+        return 2
+    exp = run_swp_experiment(n_loops=args.loops, seed=args.seed, jobs=jobs)
     print(f"population: {len(exp.loops)} loops; "
           f"{100 * exp.fraction_needing_more_than_32:.1f}% need >32 registers")
     print()
@@ -89,11 +128,15 @@ def _cmd_bench(args) -> int:
 
         verifier = PassVerifier(mode=args.lint_mode)
         verifier.prefix = args.name
+    jobs = _resolve_cli_jobs(args)
+    if jobs is None:
+        return 2
     table = Table(f"{args.name}: the five Section 10.1 setups",
                   ["setup", "instrs", "spills", "setlr", "cycles"])
     for setup in SETUPS:
         prog = run_setup(fn, setup, freq=freq, remap_restarts=args.restarts,
-                         pass_verifier=verifier)
+                         pass_verifier=verifier,
+                         remap_seed=args.seed, remap_jobs=jobs)
         result = Interpreter().run(prog.final_fn, run_args)
         report = timing.time(result.trace)
         table.add_row(setup, prog.n_instructions, prog.n_spills,
@@ -157,8 +200,12 @@ def _cmd_disasm(args) -> int:
 def _cmd_report(args) -> int:
     from repro.experiments.report import generate_report
 
+    jobs = _resolve_cli_jobs(args)
+    if jobs is None:
+        return 2
     text = generate_report(n_loops=args.loops,
-                           remap_restarts=args.restarts)
+                           remap_restarts=args.restarts,
+                           jobs=jobs)
     if args.out:
         with open(args.out, "w") as f:
             f.write(text + "\n")
@@ -230,10 +277,36 @@ def _cmd_lint(args) -> int:
 def _cmd_sweep(args) -> int:
     from repro.experiments import run_regn_sweep
 
-    sweep = run_regn_sweep(remap_restarts=args.restarts)
+    jobs = _resolve_cli_jobs(args)
+    if jobs is None:
+        return 2
+    sweep = run_regn_sweep(remap_restarts=args.restarts, jobs=jobs,
+                           seed=args.seed)
     print(sweep.table().render())
     print(f"\nbest RegN on this suite: {sweep.best_reg_n()}")
     return 0
+
+
+def _cmd_bench_remap(args) -> int:
+    from repro.benchtrack import write_bench_json
+
+    jobs = _resolve_cli_jobs(args)
+    if jobs is None:
+        return 2
+    doc = write_bench_json(args.out, remap_restarts=args.restarts,
+                           sweep_jobs=jobs, workload=args.workload,
+                           reg_n=args.reg_n)
+    remap, sweep = doc["remap"], doc["sweep"]
+    print(f"remap descent ({remap['workload']}, RegN={remap['reg_n']}, "
+          f"{remap['restarts']} restarts, {remap['engine']}): "
+          f"{remap['speedup']:.1f}x vs reference "
+          f"(identical={remap['identical_results']})")
+    print(f"RegN sweep ({len(sweep['workloads'])} workloads, "
+          f"jobs={sweep['jobs']}): {sweep['speedup']:.1f}x vs serial "
+          f"(identical={sweep['identical_results']})")
+    print(f"written to {args.out}")
+    return 0 if remap["identical_results"] and sweep["identical_results"] \
+        else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -266,12 +339,15 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("strict", "warn"),
                        help="strict: stop at the offending pass; "
                             "warn: record and continue")
+        _add_parallel_args(p)
         p.set_defaults(func=_cmd_lowend)
 
     p = sub.add_parser("swp", help="Tables 2-3 (the software-pipelining study)")
     p.add_argument("--loops", type=int, default=400,
                    help="population size (paper: 1928)")
-    p.add_argument("--seed", type=int, default=2005)
+    p.add_argument("--seed", type=int, default=2005,
+                   help="loop-population seed")
+    _add_parallel_args(p, with_seed=False)
     p.set_defaults(func=_cmd_swp)
 
     p = sub.add_parser("alternatives",
@@ -287,6 +363,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="lint the IR after every pipeline stage")
     p.add_argument("--lint-mode", default="strict",
                    choices=("strict", "warn"))
+    _add_parallel_args(p)
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("list", help="list available benchmarks")
@@ -339,12 +416,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="write to a file instead of stdout")
     p.add_argument("--loops", type=int, default=400)
     p.add_argument("--restarts", type=int, default=50)
+    _add_parallel_args(p, with_seed=False)
     p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("sweep",
                        help="RegN sweep at fixed field width (why RegN=12)")
     p.add_argument("--restarts", type=int, default=15)
+    _add_parallel_args(p)
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("bench-remap",
+                       help="time the incremental remap engine against the "
+                            "reference descent and the parallel sweep "
+                            "against serial; write BENCH_remap.json")
+    p.add_argument("--out", default="BENCH_remap.json",
+                   help="output JSON path")
+    p.add_argument("--workload", default="sha")
+    p.add_argument("--reg-n", type=int, default=16)
+    p.add_argument("--restarts", type=int, default=100)
+    _add_parallel_args(p, with_seed=False)
+    p.set_defaults(func=_cmd_bench_remap)
 
     return parser
 

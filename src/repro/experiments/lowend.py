@@ -20,6 +20,7 @@ from repro.experiments.reporting import Table, arith_mean
 from repro.ir.interp import Interpreter
 from repro.machine.lowend import LowEndTimingModel
 from repro.machine.spec import LOWEND, LowEndConfig
+from repro.parallel import parallel_map
 from repro.regalloc.pipeline import SETUPS, AllocatedProgram, run_setup
 from repro.workloads.mibench import MIBENCH, Workload
 
@@ -168,6 +169,58 @@ class LowEndExperiment:
         )
 
 
+def _lowend_workload(payload) -> List[BenchmarkRow]:
+    """One workload through every setup; the grid task of
+    :func:`run_lowend_experiment`.
+
+    Module-level and pure in its payload so it pickles into a process
+    pool.  The cross-setup checksum consistency check happens here, inside
+    the task, because it only relates rows of the same workload.
+    """
+    (w, wi, setups, base_k, reg_n, diff_n, scale, config, remap_restarts,
+     use_ilp, verify, profile, composite, seed) = payload
+    from repro.analysis.profile import profile_block_frequencies
+    from repro.workloads.compose import concat_functions
+    from repro.workloads.synth import generate_function
+
+    timing = LowEndTimingModel(config)
+    fn = w.function()
+    if composite:
+        fn = concat_functions(w.name, [
+            fn,
+            generate_function(9000 + 2 * wi, n_regions=3, base_values=7),
+            generate_function(9001 + 2 * wi, n_regions=3, base_values=7,
+                              with_memory=True),
+        ])
+    args = w.default_args if scale == "default" else w.bench_args
+    freq = profile_block_frequencies(fn, args) if profile else None
+    rows: List[BenchmarkRow] = []
+    checksums = {}
+    for setup in setups:
+        prog: AllocatedProgram = run_setup(
+            fn, setup, base_k=base_k, reg_n=reg_n, diff_n=diff_n,
+            remap_restarts=remap_restarts, use_ilp=use_ilp, verify=verify,
+            freq=freq, remap_seed=seed,
+        )
+        result = Interpreter().run(prog.final_fn, args)
+        report = timing.time(result.trace)
+        rows.append(BenchmarkRow(
+            benchmark=w.name,
+            setup=setup,
+            instructions=prog.n_instructions,
+            spills=prog.n_spills,
+            setlr=prog.n_setlr,
+            cycles=report.cycles,
+            checksum=result.return_value,
+        ))
+        checksums[setup] = result.return_value
+    if len(set(checksums.values())) != 1:
+        raise AssertionError(
+            f"{w.name}: setups disagree on semantics: {checksums}"
+        )
+    return rows
+
+
 def run_lowend_experiment(workloads: Sequence[Workload] = MIBENCH,
                           setups: Sequence[str] = SETUPS,
                           base_k: int = 8, reg_n: int = 12, diff_n: int = 8,
@@ -179,7 +232,9 @@ def run_lowend_experiment(workloads: Sequence[Workload] = MIBENCH,
                           profile: bool = True,
                           composite: bool = False,
                           verify_each_pass: bool = False,
-                          lint_mode: str = "strict") -> LowEndExperiment:
+                          lint_mode: str = "strict",
+                          jobs: int = 1,
+                          seed: int = 0) -> LowEndExperiment:
     """Run the full Section 10.1 study.
 
     ``scale`` selects each workload's ``default_args`` (fast) or
@@ -198,54 +253,72 @@ def run_lowend_experiment(workloads: Sequence[Workload] = MIBENCH,
     between every pipeline stage of every benchmark; ``lint_mode`` is
     ``"strict"`` (raise at the offending pass) or ``"warn"`` (record and
     continue; inspect ``experiment.pass_verifier.summary()``).
-    """
-    from repro.analysis.profile import profile_block_frequencies
-    from repro.workloads.compose import concat_functions
-    from repro.workloads.synth import generate_function
 
+    ``jobs`` distributes workloads over a process pool (``0`` = all
+    cores); ``seed`` seeds the remapping restarts.  Row contents are
+    identical for every job count.  ``verify_each_pass`` forces serial
+    execution — the pass verifier accumulates one cross-benchmark lint
+    trail, which has no meaningful parallel merge.
+    """
     pass_verifier = None
     if verify_each_pass:
         from repro.lint import PassVerifier
 
         pass_verifier = PassVerifier(mode=lint_mode)
 
-    timing = LowEndTimingModel(config)
     rows: List[BenchmarkRow] = []
-    for wi, w in enumerate(workloads):
-        fn = w.function()
-        if composite:
-            fn = concat_functions(w.name, [
-                fn,
-                generate_function(9000 + 2 * wi, n_regions=3, base_values=7),
-                generate_function(9001 + 2 * wi, n_regions=3, base_values=7,
-                                  with_memory=True),
-            ])
-        args = w.default_args if scale == "default" else w.bench_args
-        freq = profile_block_frequencies(fn, args) if profile else None
-        checksums = {}
-        for setup in setups:
-            if pass_verifier is not None:
+    if pass_verifier is not None:
+        # serial path, threading the verifier through every run_setup
+        from repro.analysis.profile import profile_block_frequencies
+        from repro.workloads.compose import concat_functions
+        from repro.workloads.synth import generate_function
+
+        timing = LowEndTimingModel(config)
+        for wi, w in enumerate(workloads):
+            fn = w.function()
+            if composite:
+                fn = concat_functions(w.name, [
+                    fn,
+                    generate_function(9000 + 2 * wi, n_regions=3,
+                                      base_values=7),
+                    generate_function(9001 + 2 * wi, n_regions=3,
+                                      base_values=7, with_memory=True),
+                ])
+            args = w.default_args if scale == "default" else w.bench_args
+            freq = profile_block_frequencies(fn, args) if profile else None
+            checksums = {}
+            for setup in setups:
                 pass_verifier.prefix = w.name
-            prog: AllocatedProgram = run_setup(
-                fn, setup, base_k=base_k, reg_n=reg_n, diff_n=diff_n,
-                remap_restarts=remap_restarts, use_ilp=use_ilp, verify=verify,
-                freq=freq, pass_verifier=pass_verifier,
-            )
-            result = Interpreter().run(prog.final_fn, args)
-            report = timing.time(result.trace)
-            rows.append(BenchmarkRow(
-                benchmark=w.name,
-                setup=setup,
-                instructions=prog.n_instructions,
-                spills=prog.n_spills,
-                setlr=prog.n_setlr,
-                cycles=report.cycles,
-                checksum=result.return_value,
-            ))
-            checksums[setup] = result.return_value
-        if len(set(checksums.values())) != 1:
-            raise AssertionError(
-                f"{w.name}: setups disagree on semantics: {checksums}"
-            )
+                prog: AllocatedProgram = run_setup(
+                    fn, setup, base_k=base_k, reg_n=reg_n, diff_n=diff_n,
+                    remap_restarts=remap_restarts, use_ilp=use_ilp,
+                    verify=verify, freq=freq, pass_verifier=pass_verifier,
+                    remap_seed=seed,
+                )
+                result = Interpreter().run(prog.final_fn, args)
+                report = timing.time(result.trace)
+                rows.append(BenchmarkRow(
+                    benchmark=w.name,
+                    setup=setup,
+                    instructions=prog.n_instructions,
+                    spills=prog.n_spills,
+                    setlr=prog.n_setlr,
+                    cycles=report.cycles,
+                    checksum=result.return_value,
+                ))
+                checksums[setup] = result.return_value
+            if len(set(checksums.values())) != 1:
+                raise AssertionError(
+                    f"{w.name}: setups disagree on semantics: {checksums}"
+                )
+    else:
+        payloads = [
+            (w, wi, tuple(setups), base_k, reg_n, diff_n, scale, config,
+             remap_restarts, use_ilp, verify, profile, composite, seed)
+            for wi, w in enumerate(workloads)
+        ]
+        for workload_rows in parallel_map(_lowend_workload, payloads,
+                                          jobs=jobs):
+            rows.extend(workload_rows)
     return LowEndExperiment(rows, base_k, reg_n, diff_n, config,
                             pass_verifier=pass_verifier)

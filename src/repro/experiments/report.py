@@ -40,8 +40,13 @@ def generate_report(workloads: Sequence[Workload] = MIBENCH,
                     seed: int = 2005,
                     remap_restarts: int = 50,
                     include_sweep: bool = True,
-                    include_alternatives: bool = True) -> str:
-    """Run all studies and return the combined report text."""
+                    include_alternatives: bool = True,
+                    jobs: int = 1) -> str:
+    """Run all studies and return the combined report text.
+
+    ``jobs`` fans each study's workload/loop grid out over a process pool
+    (``0`` = all cores); the report text is identical for any value.
+    """
     sections = []
     t0 = time.time()
 
@@ -50,11 +55,12 @@ def generate_report(workloads: Sequence[Workload] = MIBENCH,
     sections.append(_PAPER_NOTES)
 
     lowend = run_lowend_experiment(workloads=workloads,
-                                   remap_restarts=remap_restarts)
+                                   remap_restarts=remap_restarts,
+                                   jobs=jobs)
     sections.append("\n## Low-end study (Section 10.1)\n")
     sections.append(lowend.render_all())
 
-    swp = run_swp_experiment(n_loops=n_loops, seed=seed)
+    swp = run_swp_experiment(n_loops=n_loops, seed=seed, jobs=jobs)
     sections.append("\n## Software-pipelining study (Section 10.2)\n")
     sections.append(
         f"population: {len(swp.loops)} loops; "
@@ -70,7 +76,8 @@ def generate_report(workloads: Sequence[Workload] = MIBENCH,
 
     if include_sweep:
         sweep = run_regn_sweep(workloads=workloads,
-                               remap_restarts=remap_restarts // 2)
+                               remap_restarts=remap_restarts // 2,
+                               jobs=jobs)
         sections.append("\n## RegN sweep (choosing the paper's 12)\n")
         sections.append(sweep.table().render())
         sections.append(f"cycle-optimal RegN: {sweep.best_reg_n()}")

@@ -13,13 +13,14 @@ class.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.profile import profile_block_frequencies
 from repro.experiments.reporting import Table, arith_mean
 from repro.ir.interp import Interpreter
 from repro.machine.lowend import LowEndTimingModel
 from repro.machine.spec import LOWEND, LowEndConfig
+from repro.parallel import parallel_map
 from repro.regalloc.pipeline import run_setup
 from repro.workloads.mibench import MIBENCH, Workload
 
@@ -61,43 +62,85 @@ class RegNSweep:
         return min(self.points, key=lambda p: p.relative_cycles).reg_n
 
 
+def _sweep_workload(payload) -> List[Tuple[float, float, float, float]]:
+    """One workload through every RegN point; the grid task of
+    :func:`run_regn_sweep`.
+
+    Module-level and pure in its payload so it pickles into a process
+    pool.  Normalisation is per-workload against its own first (baseline)
+    point, so evaluation order across workloads — and hence the job
+    count — cannot change any number.
+    """
+    w, reg_ns, diff_n, config, remap_restarts, use_ilp, remap_seed = payload
+    timing = LowEndTimingModel(config)
+    fn = w.function()
+    args = w.default_args
+    freq = profile_block_frequencies(fn, args)
+    base_cycles: Optional[float] = None
+    base_energy: Optional[float] = None
+    stats: List[Tuple[float, float, float, float]] = []
+    for reg_n in reg_ns:
+        setup = "baseline" if reg_n <= diff_n else "select"
+        prog = run_setup(fn, setup, base_k=diff_n, reg_n=reg_n,
+                         diff_n=diff_n, remap_restarts=remap_restarts,
+                         use_ilp=use_ilp, freq=freq, remap_seed=remap_seed)
+        result = Interpreter().run(prog.final_fn, args)
+        report = timing.time(result.trace)
+        if base_cycles is None:
+            base_cycles = float(report.cycles)
+            base_energy = report.energy
+        stats.append((prog.spill_fraction, prog.setlr_fraction,
+                      report.cycles / base_cycles,
+                      report.energy / base_energy))
+    return stats
+
+
 def run_regn_sweep(workloads: Sequence[Workload] = MIBENCH,
                    reg_ns: Sequence[int] = (8, 10, 12, 14, 16),
                    diff_n: int = 8,
                    config: LowEndConfig = LOWEND,
                    remap_restarts: int = 20,
-                   use_ilp: bool = True) -> RegNSweep:
+                   use_ilp: bool = True,
+                   jobs: int = 1,
+                   seed: int = 0) -> RegNSweep:
     """Sweep RegN over the kernel suite.
 
     ``reg_n == diff_n`` points run as plain direct encoding (the baseline);
-    larger RegN uses the differential-select setup.
+    larger RegN uses the differential-select setup.  Relative cycles and
+    energy are normalised against the *first* point, which must therefore
+    be a direct baseline: ``reg_ns[0] <= diff_n`` is required, rather than
+    silently normalising against whatever configuration happens to run
+    first.
+
+    ``jobs`` distributes workloads over a process pool (``0`` = all
+    cores); ``seed`` seeds the remapping restarts.  Results are identical
+    for every job count.
     """
-    timing = LowEndTimingModel(config)
+    if not reg_ns:
+        raise ValueError("reg_ns must be non-empty")
+    if reg_ns[0] > diff_n:
+        raise ValueError(
+            f"reg_ns[0] must be a direct baseline point (reg_n <= diff_n): "
+            f"relative cycles/energy are normalised against the first "
+            f"point, got reg_ns[0]={reg_ns[0]} > diff_n={diff_n}"
+        )
+    payloads = [
+        (w, tuple(reg_ns), diff_n, config, remap_restarts, use_ilp, seed)
+        for w in workloads
+    ]
+    per_workload = parallel_map(_sweep_workload, payloads, jobs=jobs)
+
     per_point: Dict[int, Dict[str, List[float]]] = {
         r: {"spill": [], "setlr": [], "cycles": [], "energy": []}
         for r in reg_ns
     }
-    for w in workloads:
-        fn = w.function()
-        args = w.default_args
-        freq = profile_block_frequencies(fn, args)
-        base_cycles: Optional[float] = None
-        base_energy: Optional[float] = None
-        for reg_n in reg_ns:
-            setup = "baseline" if reg_n <= diff_n else "select"
-            prog = run_setup(fn, setup, base_k=diff_n, reg_n=reg_n,
-                             diff_n=diff_n, remap_restarts=remap_restarts,
-                             use_ilp=use_ilp, freq=freq)
-            result = Interpreter().run(prog.final_fn, args)
-            report = timing.time(result.trace)
-            if base_cycles is None:
-                base_cycles = float(report.cycles)
-                base_energy = report.energy
+    for stats_list in per_workload:
+        for reg_n, (spill, setlr, cycles, energy) in zip(reg_ns, stats_list):
             stats = per_point[reg_n]
-            stats["spill"].append(prog.spill_fraction)
-            stats["setlr"].append(prog.setlr_fraction)
-            stats["cycles"].append(report.cycles / base_cycles)
-            stats["energy"].append(report.energy / base_energy)
+            stats["spill"].append(spill)
+            stats["setlr"].append(setlr)
+            stats["cycles"].append(cycles)
+            stats["energy"].append(energy)
 
     points = [
         SweepPoint(

@@ -164,24 +164,51 @@ def _evaluate_loop(spec: LoopSpec, reg_ns: Sequence[int], diff_n: int,
     )
 
 
+def _evaluate_loop_batch(payload) -> List[Optional[LoopResult]]:
+    """Worker task: evaluate a contiguous chunk of the loop population.
+
+    Module-level and pure in its payload so it pickles into a process
+    pool; loops are independent, so chunk boundaries cannot change any
+    result.
+    """
+    specs, reg_ns, diff_n, machine, remap_restarts = payload
+    return [
+        _evaluate_loop(spec, reg_ns, diff_n, machine, remap_restarts)
+        for spec in specs
+    ]
+
+
 def run_swp_experiment(n_loops: int = 1928, seed: int = 2005,
                        reg_ns: Sequence[int] = REG_NS, diff_n: int = 32,
                        machine: VLIWConfig = VLIW,
                        remap_restarts: int = 4,
-                       population: Optional[Sequence[LoopSpec]] = None
+                       population: Optional[Sequence[LoopSpec]] = None,
+                       jobs: int = 1
                        ) -> SwpExperiment:
     """Run the Section 10.2 study over the loop population.
 
     ``n_loops`` defaults to the paper's 1928; tests and quick runs pass a
     smaller population.  Loops whose recurrences cannot be scheduled at all
     are dropped (none occur with the default generator parameters).
+
+    ``jobs`` distributes contiguous chunks of the population over a
+    process pool (``0`` = all cores); every loop is evaluated
+    independently, so results are identical for every job count.
     """
+    from repro.parallel import chunked, parallel_map, resolve_jobs
+
     specs = list(population) if population is not None else \
         generate_loop_population(n=n_loops, seed=seed)
-    loops: List[LoopResult] = []
-    for spec in specs:
-        result = _evaluate_loop(spec, tuple(reg_ns), diff_n, machine,
-                                remap_restarts)
-        if result is not None:
-            loops.append(result)
+    n_jobs = resolve_jobs(jobs)
+    payloads = [
+        (batch, tuple(reg_ns), diff_n, machine, remap_restarts)
+        for batch in chunked(specs, n_jobs)
+    ]
+    loops: List[LoopResult] = [
+        result
+        for batch_results in parallel_map(_evaluate_loop_batch, payloads,
+                                          jobs=n_jobs)
+        for result in batch_results
+        if result is not None
+    ]
     return SwpExperiment(loops, tuple(reg_ns), diff_n)

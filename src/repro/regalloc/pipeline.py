@@ -130,7 +130,9 @@ def run_setup(fn: Function, setup: str,
               verify: bool = True,
               access_order: str = "src_first",
               freq: Optional[Dict[str, float]] = None,
-              pass_verifier: Optional["PassVerifier"] = None
+              pass_verifier: Optional["PassVerifier"] = None,
+              remap_seed: int = 0,
+              remap_jobs: int = 1,
               ) -> AllocatedProgram:
     """Run one function through one of the five Section 10.1 setups.
 
@@ -146,6 +148,11 @@ def run_setup(fn: Function, setup: str,
     static IR checker after every stage (input, allocation, encoding) with
     stage-appropriate expectations, attributing the first invariant
     violation to the pass that introduced it (``--verify-each-pass``).
+
+    ``remap_seed`` seeds the remapping search's random restarts;
+    ``remap_jobs`` fans those restarts out over a process pool (``0`` =
+    all cores).  Neither changes results — remap restarts are
+    deterministic in the seed regardless of the job count.
     """
     config = EncodingConfig(reg_n=reg_n, diff_n=diff_n, access_order=access_order)
     encoded: Optional[EncodedFunction] = None
@@ -169,10 +176,12 @@ def run_setup(fn: Function, setup: str,
         freq_remap = differential_remap(
             allocated_fn, reg_n, diff_n, order=access_order,
             restarts=remap_restarts, freq=freq,
+            seed=remap_seed, jobs=remap_jobs,
         )
         static_remap = differential_remap(
             allocated_fn, reg_n, diff_n, order=access_order,
             restarts=remap_restarts, freq={},
+            seed=remap_seed, jobs=remap_jobs,
         )
         return [allocated_fn, freq_remap.fn, static_remap.fn]
 

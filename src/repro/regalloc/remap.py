@@ -14,11 +14,27 @@ Two searches are provided, matching the paper:
   steepest-descent over pairwise swaps of the register vector, restarted from
   a number of random initial vectors (the paper uses 1000) and keeping the
   best local minimum.
+
+The descent evaluates swap candidates **incrementally**: swapping registers
+``a`` and ``b`` only changes the satisfaction of edges incident to ``a`` or
+``b``, so a candidate swap costs O(deg(a) + deg(b)) against per-register
+incident-edge buckets instead of a full O(E) cost re-evaluation, and a
+maintained table of candidate deltas is invalidated only for pairs whose
+incident edges reach the registers a step actually moved.  Edge weights are
+scaled to exact integers (see :data:`_WEIGHT_SCALE`), which makes every
+delta bit-identical to a full :func:`_perm_cost` recomputation no matter
+how — or on which engine — it is computed; the vectorised
+:class:`_NumpyDeltaEngine` and the pure-Python :class:`_PyDeltaEngine`
+return the same permutations, costs and restart counts as the
+O(E)-per-candidate :func:`_greedy_descent_reference` they replace.
+Restarts are independent, so ``jobs > 1`` fans them out over
+:func:`repro.parallel.parallel_map`, again with bit-identical results.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
 import random
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
@@ -29,6 +45,21 @@ from repro.ir.function import Function
 from repro.ir.instr import Reg
 
 __all__ = ["RemapResult", "differential_remap", "exhaustive_remap", "apply_permutation"]
+
+Edge = Tuple[int, int, int]
+
+#: Edge weights enter as floats — block frequencies plus predecessor shares
+#: ``freq / len(preds)`` — and are scaled by lcm(1..16) = 720720 into exact
+#: integers.  Exact weights make the swap search deterministic: a delta is
+#: the same number whether it is computed incrementally over two registers'
+#: buckets, vectorised over all candidate pairs, or by differencing two
+#: full-cost evaluations, so every engine (and every ``jobs`` setting)
+#: picks the same swap at every step.  Reported costs are divided back.
+_WEIGHT_SCALE = 720720
+
+#: Weights at or above this bound fall back to the pure-Python engine,
+#: whose arbitrary-precision integers cannot overflow int64 accumulation.
+_NUMPY_WEIGHT_LIMIT = 1 << 40
 
 
 @dataclass
@@ -47,20 +78,30 @@ class RemapResult:
 
 
 def _edge_list(fn: Function, reg_n: int, order: str,
-               freq: Optional[Mapping[str, float]]) -> List[Tuple[int, int, float]]:
+               freq: Optional[Mapping[str, float]]) -> List[Edge]:
+    """The adjacency edges inside the differential space, as id triples.
+
+    Parallel ``(u, v)`` edges are collapsed into one summed weight so both
+    searches iterate a minimal edge set (and the incremental buckets stay
+    small); first-seen order is preserved.  Weights are scaled to exact
+    integers (:data:`_WEIGHT_SCALE`); with integer block frequencies the
+    scaling is lossless, anything else is quantised to ~1e-6 of a unit
+    weight.
+    """
     graph = build_adjacency(fn, order=order, freq=freq)
-    edges: List[Tuple[int, int, float]] = []
+    weights: Dict[Tuple[int, int], float] = {}
     for u, v, w in graph.edges():
         if u.virtual or v.virtual:
             raise ValueError("remapping requires allocated (physical) code")
         if u.id < reg_n and v.id < reg_n and u.cls == "int" and v.cls == "int":
-            edges.append((u.id, v.id, w))
-    return edges
+            key = (u.id, v.id)
+            weights[key] = weights.get(key, 0.0) + w
+    return [(u, v, round(w * _WEIGHT_SCALE)) for (u, v), w in weights.items()]
 
 
 def _perm_cost(perm: Sequence[int], edges: Sequence[Tuple[int, int, float]],
                reg_n: int, diff_n: int) -> float:
-    total = 0.0
+    total = 0
     for u, v, w in edges:
         if (perm[v] - perm[u]) % reg_n >= diff_n:
             total += w
@@ -100,17 +141,279 @@ def exhaustive_remap(fn: Function, reg_n: int, diff_n: int,
     return RemapResult(
         fn=apply_permutation(fn, best_perm, reg_n),
         permutation=best_perm,
-        cost_before=base_cost,
-        cost_after=best_cost,
+        cost_before=base_cost / _WEIGHT_SCALE,
+        cost_after=best_cost / _WEIGHT_SCALE,
     )
 
 
-def _greedy_descent(perm: List[int], edges: Sequence[Tuple[int, int, float]],
-                    reg_n: int, diff_n: int, free: Sequence[int]) -> float:
-    """Steepest-descent over element swaps (the paper's Figure 7 loop)."""
+class _PyDeltaEngine:
+    """Per-register incident-edge buckets for O(deg) swap evaluation.
+
+    ``buckets[r]`` holds every edge with an endpoint at original register
+    ``r``; an edge between two distinct registers appears in both buckets.
+    Cost terms depend only on the permutation's values at an edge's
+    endpoints, so the cost change of swapping ``perm[a], perm[b]`` is
+    confined to ``buckets[a] ∪ buckets[b]``.  One engine serves every
+    restart of a search (it never holds permutation state).
+    """
+
+    def __init__(self, edges: Sequence[Edge], reg_n: int, diff_n: int,
+                 free: Sequence[int]) -> None:
+        self.reg_n = reg_n
+        self.diff_n = diff_n
+        self.free = list(free)
+        buckets: List[List[Edge]] = [[] for _ in range(reg_n)]
+        neighbors: List[Set[int]] = [set() for _ in range(reg_n)]
+        for edge in edges:
+            u, v, _ = edge
+            buckets[u].append(edge)
+            neighbors[u].add(v)
+            if v != u:
+                buckets[v].append(edge)
+                neighbors[v].add(u)
+        self.edges = list(edges)
+        self.buckets = buckets
+        self.neighbors = neighbors
+
+    def _incident_cost(self, perm: Sequence[int], a: int, b: int) -> int:
+        """Violation weight of the edges touching ``a`` or ``b`` under
+        ``perm`` (edges in both buckets counted once)."""
+        reg_n, diff_n = self.reg_n, self.diff_n
+        total = 0
+        for u, v, w in self.buckets[a]:
+            if (perm[v] - perm[u]) % reg_n >= diff_n:
+                total += w
+        for u, v, w in self.buckets[b]:
+            if u == a or v == a:
+                continue  # already counted via a's bucket
+            if (perm[v] - perm[u]) % reg_n >= diff_n:
+                total += w
+        return total
+
+    def swap_delta(self, perm: List[int], a: int, b: int) -> int:
+        """Cost decrease of swapping ``perm[a]`` and ``perm[b]``.
+
+        Positive means the swap improves.  O(deg(a) + deg(b)): only the
+        incident edges are evaluated, before and after the swap.
+        """
+        before = self._incident_cost(perm, a, b)
+        perm[a], perm[b] = perm[b], perm[a]
+        after = self._incident_cost(perm, a, b)
+        perm[a], perm[b] = perm[b], perm[a]
+        return before - after
+
+    def descend(self, perm: List[int]) -> int:
+        """Steepest-descent to a local minimum; mutates ``perm``.
+
+        The delta table survives across descent rounds: applying swap
+        ``(a, b)`` changes permutation values only at ``a`` and ``b``, so
+        a cached candidate ``(x, y)`` stays valid unless one of its
+        incident edges reaches a moved register — that is, unless ``x`` or
+        ``y`` lies in ``{a, b} ∪ N(a) ∪ N(b)``.
+        """
+        free = self.free
+        n = len(free)
+        cost = _perm_cost(perm, self.edges, self.reg_n, self.diff_n)
+        deltas: Dict[Tuple[int, int], int] = {}
+        while True:
+            best_delta = 0
+            best_swap: Optional[Tuple[int, int]] = None
+            for ai in range(n):
+                a = free[ai]
+                for bi in range(ai + 1, n):
+                    pair = (ai, bi)
+                    delta = deltas.get(pair)
+                    if delta is None:
+                        delta = self.swap_delta(perm, a, free[bi])
+                        deltas[pair] = delta
+                    if delta > best_delta:
+                        best_delta, best_swap = delta, (a, free[bi])
+            if best_swap is None:
+                return cost
+            a, b = best_swap
+            perm[a], perm[b] = perm[b], perm[a]
+            cost -= best_delta
+            stale = {a, b} | self.neighbors[a] | self.neighbors[b]
+            for ai, bi in list(deltas):
+                if free[ai] in stale or free[bi] in stale:
+                    del deltas[(ai, bi)]
+
+
+class _NumpyDeltaEngine:
+    """Vectorised twin of :class:`_PyDeltaEngine`.
+
+    The incident-edge buckets of every candidate pair are flattened into
+    one entry array grouped by pair, so recomputing the invalidated slice
+    of the delta table is a single masked gather + segmented int64 sum per
+    descent round.  All arithmetic is integer, so results are
+    bit-identical to the pure-Python engine; ``np.argmax`` returns the
+    first maximum, matching the scan order of the reference loops.
+    """
+
+    def __init__(self, edges: Sequence[Edge], reg_n: int, diff_n: int,
+                 free: Sequence[int], np_module) -> None:
+        np = np_module
+        self.np = np
+        self.reg_n = reg_n
+        self.diff_n = diff_n
+        self.edges = list(edges)
+        self.free = list(free)
+        self.U = np.array([e[0] for e in edges], dtype=np.int64)
+        self.V = np.array([e[1] for e in edges], dtype=np.int64)
+        self.W = np.array([e[2] for e in edges], dtype=np.int64)
+
+        incident: List[List[int]] = [[] for _ in range(reg_n)]
+        adj = np.zeros((reg_n, reg_n), dtype=bool)
+        for idx, (u, v, _) in enumerate(edges):
+            incident[u].append(idx)
+            if v != u:
+                incident[v].append(idx)
+            adj[u, v] = adj[v, u] = True
+        for r in range(reg_n):
+            adj[r, r] = True
+        self.adj = adj
+
+        pairs = [(free[ai], free[bi])
+                 for ai in range(len(free))
+                 for bi in range(ai + 1, len(free))]
+        self.PA = np.array([p[0] for p in pairs], dtype=np.int64)
+        self.PB = np.array([p[1] for p in pairs], dtype=np.int64)
+        self.n_pairs = len(pairs)
+
+        # The buckets of every candidate pair, flattened into one entry
+        # array grouped by pair.  Pairs with no incident edges get one
+        # zero-weight sentinel entry so reduceat segments are never empty.
+        eid: List[int] = []
+        pid: List[int] = []
+        starts: List[int] = []
+        for k, (a, b) in enumerate(pairs):
+            both = incident[a] + [i for i in incident[b]
+                                  if self.U[i] != a and self.V[i] != a]
+            starts.append(len(eid))
+            eid.extend(both or [-1])
+            pid.extend([k] * (len(both) or 1))
+        eid_arr = np.array(eid, dtype=np.int64)
+        sentinel = eid_arr < 0
+        eid_arr[sentinel] = 0
+        self.PID = np.array(pid, dtype=np.int64)
+        self.SEG_STARTS = np.array(starts, dtype=np.int64)
+        n = len(eid_arr)
+        self.EU = self.U[eid_arr] if len(edges) else np.zeros(n, np.int64)
+        self.EV = self.V[eid_arr] if len(edges) else np.zeros(n, np.int64)
+        self.EW = self.W[eid_arr] if len(edges) else np.zeros(n, np.int64)
+        self.EW[sentinel] = 0
+        EA = self.PA[self.PID]
+        EB = self.PB[self.PID]
+        self.EA, self.EB = EA, EB
+        # static: which entries' endpoints are the entry's own pair
+        self.EU_IS_A = self.EU == EA
+        self.EU_IS_B = self.EU == EB
+        self.EV_IS_A = self.EV == EA
+        self.EV_IS_B = self.EV == EB
+        # rounds invalidating less than this fraction of the table use the
+        # masked subset path; denser rounds recompute every segment, which
+        # costs fewer (and no gather-heavy) vector ops
+        self.subset_threshold = 0.25 * self.n_pairs
+
+    def _deltas_full(self, P):
+        """Every pair's delta in one segmented pass."""
+        np = self.np
+        pu, pv = P[self.EU], P[self.EV]
+        pa, pb = P[self.EA], P[self.EB]
+        nu = np.where(self.EU_IS_A, pb, np.where(self.EU_IS_B, pa, pu))
+        nv = np.where(self.EV_IS_A, pb, np.where(self.EV_IS_B, pa, pv))
+        before = (pv - pu) % self.reg_n >= self.diff_n
+        after = (nv - nu) % self.reg_n >= self.diff_n
+        contrib = self.EW * np.subtract(before, after, dtype=np.int64)
+        return np.add.reduceat(contrib, self.SEG_STARTS)
+
+    def _deltas_subset(self, P, deltas, pair_dirty):
+        """Recompute only the invalidated pairs' deltas, in place."""
+        np = self.np
+        sel = pair_dirty[self.PID]
+        eu, ev = self.EU[sel], self.EV[sel]
+        pu, pv = P[eu], P[ev]
+        pa, pb = P[self.EA[sel]], P[self.EB[sel]]
+        nu = np.where(self.EU_IS_A[sel], pb, np.where(self.EU_IS_B[sel], pa, pu))
+        nv = np.where(self.EV_IS_A[sel], pb, np.where(self.EV_IS_B[sel], pa, pv))
+        before = (pv - pu) % self.reg_n >= self.diff_n
+        after = (nv - nu) % self.reg_n >= self.diff_n
+        contrib = self.EW[sel] * np.subtract(before, after, dtype=np.int64)
+        fresh = np.zeros(self.n_pairs, dtype=np.int64)
+        np.add.at(fresh, self.PID[sel], contrib)
+        deltas[pair_dirty] = fresh[pair_dirty]
+
+    def descend(self, perm: List[int]) -> int:
+        np = self.np
+        reg_n, diff_n = self.reg_n, self.diff_n
+        P = np.array(perm, dtype=np.int64)
+        if not self.n_pairs or not len(self.edges):
+            return int(self.W[(P[self.V] - P[self.U]) % reg_n
+                              >= diff_n].sum())
+        cost = int(self.W[(P[self.V] - P[self.U]) % reg_n >= diff_n].sum())
+        deltas = self._deltas_full(P)
+        while True:
+            k = int(np.argmax(deltas))
+            best_delta = int(deltas[k])
+            if best_delta <= 0:
+                break
+            a, b = int(self.PA[k]), int(self.PB[k])
+            P[a], P[b] = int(P[b]), int(P[a])
+            cost -= best_delta
+            dirty_regs = self.adj[a] | self.adj[b]
+            pair_dirty = dirty_regs[self.PA] | dirty_regs[self.PB]
+            n_dirty = int(pair_dirty.sum())
+            if n_dirty > self.subset_threshold:
+                # recomputing clean pairs is harmless — exact arithmetic
+                # reproduces the cached values — and the full segmented
+                # pass is cheaper than gathering a large subset
+                deltas = self._deltas_full(P)
+            elif n_dirty:
+                self._deltas_subset(P, deltas, pair_dirty)
+        perm[:] = P.tolist()
+        return cost
+
+
+def _numpy_or_none():
+    """The numpy module when present and not disabled, else ``None``."""
+    if os.environ.get("REPRO_NO_NUMPY") == "1":
+        return None
+    try:
+        import numpy
+    except ImportError:  # numpy is optional: the pure engine is complete
+        return None
+    return numpy
+
+
+def _make_engine(edges: Sequence[Edge], reg_n: int, diff_n: int,
+                 free: Sequence[int]):
+    """The fastest available exact engine for this edge set."""
+    np = _numpy_or_none()
+    if np is not None and all(abs(w) < _NUMPY_WEIGHT_LIMIT for _, _, w in edges):
+        return _NumpyDeltaEngine(edges, reg_n, diff_n, free, np)
+    return _PyDeltaEngine(edges, reg_n, diff_n, free)
+
+
+def _greedy_descent(perm: List[int], edges: Sequence[Edge],
+                    reg_n: int, diff_n: int, free: Sequence[int],
+                    engine=None) -> int:
+    """Steepest-descent over element swaps (the paper's Figure 7 loop),
+    via the incremental delta engines.  Mutates and returns through
+    ``perm``; the return value is the (scaled, integer) local-minimum
+    cost."""
+    if engine is None:
+        engine = _make_engine(edges, reg_n, diff_n, free)
+    return engine.descend(perm)
+
+
+def _greedy_descent_reference(perm: List[int], edges: Sequence[Edge],
+                              reg_n: int, diff_n: int,
+                              free: Sequence[int]) -> int:
+    """The original O(E)-per-candidate descent, kept as the ground truth
+    for equivalence tests and the before/after benchmark."""
     cost = _perm_cost(perm, edges, reg_n, diff_n)
     while True:
-        best_delta = 0.0
+        best_delta = 0
         best_swap: Optional[Tuple[int, int]] = None
         for ai in range(len(free)):
             for bi in range(ai + 1, len(free)):
@@ -128,17 +431,54 @@ def _greedy_descent(perm: List[int], edges: Sequence[Tuple[int, int, float]],
         cost -= best_delta
 
 
+def _start_perms(identity: Sequence[int], free: Sequence[int],
+                 restarts: int, seed: int) -> List[List[int]]:
+    """The descent starting points: identity, then ``restarts - 1``
+    seeded shuffles of the free registers (the paper's random restarts)."""
+    rng = random.Random(seed)
+    starts = [list(identity)]
+    for _ in range(max(0, restarts - 1)):
+        images = list(free)
+        rng.shuffle(images)
+        perm = list(identity)
+        for slot, image in zip(free, images):
+            perm[slot] = image
+        starts.append(perm)
+    return starts
+
+
+def _descent_batch(payload: Tuple[Tuple[Edge, ...], int, int,
+                                  Tuple[int, ...], List[List[int]]]
+                   ) -> List[Tuple[int, List[int]]]:
+    """Worker task: run the descent on a batch of starting permutations.
+
+    Module-level and pure so it pickles into a process pool; one engine is
+    shared across the batch.
+    """
+    edges, reg_n, diff_n, free, starts = payload
+    engine = _make_engine(edges, reg_n, diff_n, free)
+    return [(engine.descend(perm), perm) for perm in starts]
+
+
 def differential_remap(fn: Function, reg_n: int, diff_n: int,
                        order: str = "src_first",
                        freq: Optional[Mapping[str, float]] = None,
                        restarts: int = 100,
                        seed: int = 0,
-                       pinned: Sequence[int] = ()) -> RemapResult:
+                       pinned: Sequence[int] = (),
+                       jobs: int = 1) -> RemapResult:
     """Greedy remapping with random restarts (paper Section 5, Figure 7).
 
     ``pinned`` register numbers keep their identity mapping — used to respect
     calling conventions without the store-repair of Section 9.3 (parameter
     and return registers stay put).
+
+    ``jobs`` fans the restarts out over a process pool (``0`` = all
+    cores).  Starting permutations are drawn serially from one seeded RNG
+    and results are folded in restart order under the same early-exit rule
+    as the serial loop, so every ``jobs`` value returns the identical
+    :class:`RemapResult` — parallelism only buys wall-clock time, at the
+    price of descents past an early zero-cost hit being discarded.
     """
     if freq is None:
         freq = estimate_block_frequencies(fn)
@@ -148,26 +488,47 @@ def differential_remap(fn: Function, reg_n: int, diff_n: int,
     identity = list(range(reg_n))
     base_cost = _perm_cost(identity, edges, reg_n, diff_n)
 
-    rng = random.Random(seed)
-    best_perm = list(identity)
-    best_cost = _greedy_descent(best_perm, edges, reg_n, diff_n, free)
+    starts = _start_perms(identity, free, restarts, seed)
+
+    from repro.parallel import chunked, parallel_map, resolve_jobs
+
+    n_jobs = resolve_jobs(jobs)
+    if n_jobs > 1 and len(starts) > 1:
+        payloads = [
+            (tuple(edges), reg_n, diff_n, tuple(free), batch)
+            for batch in chunked(starts, n_jobs)
+        ]
+        outcomes = [
+            result
+            for batch_result in parallel_map(_descent_batch, payloads,
+                                             jobs=n_jobs)
+            for result in batch_result
+        ]
+        results = iter(outcomes)
+
+        def next_descent() -> Tuple[int, List[int]]:
+            return next(results)
+    else:
+        engine = _make_engine(edges, reg_n, diff_n, free)
+        starts_iter = iter(starts)
+
+        def next_descent() -> Tuple[int, List[int]]:
+            perm = next(starts_iter)
+            return engine.descend(perm), perm
+
+    best_cost, best_perm = next_descent()
     used = 1
     for _ in range(max(0, restarts - 1)):
         if best_cost == 0:
             break
-        images = free[:]
-        rng.shuffle(images)
-        perm = list(identity)
-        for slot, image in zip(free, images):
-            perm[slot] = image
-        cost = _greedy_descent(perm, edges, reg_n, diff_n, free)
+        cost, perm = next_descent()
         used += 1
         if cost < best_cost:
             best_perm, best_cost = perm, cost
     return RemapResult(
         fn=apply_permutation(fn, best_perm, reg_n),
         permutation=tuple(best_perm),
-        cost_before=base_cost,
-        cost_after=best_cost,
+        cost_before=base_cost / _WEIGHT_SCALE,
+        cost_after=best_cost / _WEIGHT_SCALE,
         restarts=used,
     )

@@ -1,0 +1,129 @@
+"""Deterministic parallel engine tests.
+
+The contract under test is the whole point of :mod:`repro.parallel`:
+``jobs=1`` and ``jobs>1`` are *bit-identical* — for the primitive map, for
+the remapping restart fan-out, and for every experiment grid built on it.
+"""
+
+import pytest
+
+from repro.parallel import chunked, derive_seed, parallel_map, resolve_jobs
+from repro.regalloc import differential_remap, iterated_allocate
+from repro.workloads import MIBENCH, get_workload
+
+
+def _square(x):
+    return x * x
+
+
+class TestResolveJobs:
+    def test_default_serial(self):
+        assert resolve_jobs(1) == 1
+
+    def test_zero_means_all_cores(self):
+        import os
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_literal_counts(self):
+        assert resolve_jobs(7) == 7
+
+    @pytest.mark.parametrize("bad", [-1, -8, 2.5, "4", None, True])
+    def test_invalid_values_raise(self, bad):
+        with pytest.raises(ValueError):
+            resolve_jobs(bad)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(0, "a", 1) == derive_seed(0, "a", 1)
+
+    def test_key_sensitive(self):
+        seeds = {derive_seed(0), derive_seed(1), derive_seed(0, "x"),
+                 derive_seed(0, "y"), derive_seed(0, "x", 2)}
+        assert len(seeds) == 5
+
+
+class TestChunked:
+    def test_concatenation_preserves_order(self):
+        items = list(range(17))
+        for n in (1, 2, 3, 5, 16, 17, 40):
+            chunks = chunked(items, n)
+            assert [x for c in chunks for x in c] == items
+            assert len(chunks) <= n
+
+    def test_balanced(self):
+        sizes = [len(c) for c in chunked(list(range(10)), 4)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_empty(self):
+        assert chunked([], 4) == []
+
+    def test_bad_chunk_count(self):
+        with pytest.raises(ValueError):
+            chunked([1, 2], 0)
+
+
+class TestParallelMap:
+    def test_serial_is_plain_map(self):
+        assert parallel_map(_square, [1, 2, 3], jobs=1) == [1, 4, 9]
+
+    def test_parallel_matches_serial(self):
+        tasks = list(range(20))
+        assert parallel_map(_square, tasks, jobs=4) == \
+            parallel_map(_square, tasks, jobs=1)
+
+    def test_order_preserved(self):
+        assert parallel_map(_square, [3, 1, 2], jobs=2) == [9, 1, 4]
+
+    def test_empty(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+
+@pytest.fixture(scope="module")
+def allocated_sha():
+    return iterated_allocate(get_workload("sha").function(), 12).fn
+
+
+class TestRemapJobsParity:
+    def test_parallel_remap_identical(self, allocated_sha):
+        serial = differential_remap(allocated_sha, 12, 8, restarts=12,
+                                    seed=7, jobs=1)
+        parallel = differential_remap(allocated_sha, 12, 8, restarts=12,
+                                      seed=7, jobs=3)
+        assert serial.permutation == parallel.permutation
+        assert serial.cost_before == parallel.cost_before
+        assert serial.cost_after == parallel.cost_after
+        assert serial.restarts == parallel.restarts
+
+    def test_jobs_zero_identical(self, allocated_sha):
+        serial = differential_remap(allocated_sha, 12, 8, restarts=6,
+                                    seed=2, jobs=1)
+        parallel = differential_remap(allocated_sha, 12, 8, restarts=6,
+                                      seed=2, jobs=0)
+        assert serial.permutation == parallel.permutation
+        assert serial.restarts == parallel.restarts
+
+
+class TestExperimentJobsParity:
+    def test_regn_sweep_identical(self):
+        from repro.experiments import run_regn_sweep
+
+        kw = dict(workloads=MIBENCH[:2], reg_ns=(8, 12),
+                  remap_restarts=2)
+        assert run_regn_sweep(jobs=1, **kw).points == \
+            run_regn_sweep(jobs=2, **kw).points
+
+    def test_lowend_identical(self):
+        from repro.experiments import run_lowend_experiment
+
+        kw = dict(workloads=MIBENCH[:2], setups=("baseline", "remapping"),
+                  remap_restarts=2)
+        assert run_lowend_experiment(jobs=1, **kw).rows == \
+            run_lowend_experiment(jobs=2, **kw).rows
+
+    def test_swp_identical(self):
+        from repro.experiments import run_swp_experiment
+
+        serial = run_swp_experiment(n_loops=8, jobs=1)
+        parallel = run_swp_experiment(n_loops=8, jobs=3)
+        assert serial.loops == parallel.loops

@@ -34,3 +34,14 @@ class TestRegNSweep:
 
     def test_best_reg_n_valid(self, sweep):
         assert sweep.best_reg_n() in (8, 12, 16)
+
+    def test_first_point_must_be_direct_baseline(self):
+        """Relative cycles are normalised against the first point, so a
+        sweep that does not start at a direct baseline is rejected rather
+        than silently normalised against a differential configuration."""
+        with pytest.raises(ValueError, match="direct baseline"):
+            run_regn_sweep(MIBENCH[:1], reg_ns=(10, 12), remap_restarts=1)
+
+    def test_empty_reg_ns_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            run_regn_sweep(MIBENCH[:1], reg_ns=(), remap_restarts=1)
