@@ -10,7 +10,8 @@ from repro.analysis.interference import InterferenceGraph, build_interference
 from repro.analysis.dominators import compute_dominators, immediate_dominators
 from repro.analysis.loops import NaturalLoop, find_natural_loops, loop_depths
 from repro.analysis.frequency import estimate_block_frequencies
-from repro.analysis.profile import profile_block_frequencies
+from repro.analysis.profile import (block_frequencies_from_counts,
+                                    profile_block_frequencies)
 from repro.analysis.pressure import (
     PressureRegion,
     block_pressure,
@@ -26,6 +27,7 @@ from repro.analysis.webs import split_webs
 
 __all__ = [
     "profile_block_frequencies",
+    "block_frequencies_from_counts",
     "PressureRegion",
     "block_pressure",
     "loop_pressure_regions",

@@ -1,15 +1,19 @@
-"""Wall-clock benchmark harness for the incremental remap kernel.
+"""Wall-clock benchmark harness for the rewritten hot paths.
 
 Times the rewritten greedy-descent engine against the retained
 O(E)-per-candidate reference (:func:`repro.regalloc.remap.
-_greedy_descent_reference`) and the serial RegN sweep against its
-process-pool fan-out, then emits the measurements as ``BENCH_remap.json``.
-CI uploads the file as an artifact, so the speedups are tracked run over
-run; ``python -m repro bench-remap`` produces it locally.
+_greedy_descent_reference`), the serial RegN sweep against its
+process-pool fan-out, and the columnar simulation layer (fast
+interpreter engine + trace reuse + vectorized timing) against the
+reference interpreter/object-trace path, then emits the measurements as
+``BENCH_remap.json`` / ``BENCH_sim.json``.  CI uploads the files as
+artifacts, so the speedups are tracked run over run; ``python -m repro
+bench-remap`` and ``python -m repro bench-sim`` produce them locally.
 
 Every timed comparison also cross-checks outputs: the incremental engine
-must return exactly the reference's costs and permutations, and the
-parallel sweep exactly the serial sweep's points — a benchmark that got
+must return exactly the reference's costs and permutations, the parallel
+sweep exactly the serial sweep's points, and the columnar path exactly
+the reference path's ``CycleReport`` per program — a benchmark that got
 faster by changing answers is a bug, not a result.
 """
 
@@ -19,7 +23,8 @@ import json
 import time
 from typing import Dict, Optional, Sequence
 
-__all__ = ["bench_remap_descent", "bench_sweep", "collect_benchmarks",
+__all__ = ["bench_remap_descent", "bench_sweep", "bench_sim",
+           "collect_benchmarks", "collect_sim_benchmarks",
            "write_bench_json"]
 
 BENCH_SCHEMA = 1
@@ -114,6 +119,78 @@ def bench_sweep(n_workloads: int = 4,
     }
 
 
+def bench_sim(n_workloads: int = 15,
+              setups: Sequence[str] = ("baseline", "remapping", "select"),
+              remap_restarts: int = 5) -> Dict[str, object]:
+    """Time the simulation layer, reference path vs columnar path.
+
+    The Figure 14 run re-simulates every workload once per setup.  The
+    old path interprets each allocated program with the reference engine
+    and walks the object trace through the per-entry timing loop; the new
+    path interprets each *input* function once (fast engine, columnar
+    recording), derives every setup's trace from that recording and times
+    it vectorized.  Allocation is hoisted out of both timed regions — it
+    is identical work either way and not what this benchmark measures.
+    Workloads run at ``bench_args`` scale, and both paths must produce
+    bit-identical :class:`~repro.machine.lowend.CycleReport` rows.
+    """
+    from repro.ir.interp import Interpreter
+    from repro.machine.lowend import LowEndTimingModel
+    from repro.machine.reuse import (clear_recorded_runs, interpret_or_derive,
+                                     record_reference_run)
+    from repro.machine.spec import LOWEND
+    from repro.regalloc.pipeline import run_setup
+    from repro.workloads import MIBENCH
+
+    workloads = MIBENCH[:n_workloads]
+    model = LowEndTimingModel(LOWEND)
+    # the ILP-free setups keep allocation (untimed but still paid) cheap
+    programs = []
+    for w in workloads:
+        fn = w.function()
+        variants = [
+            run_setup(fn, s, base_k=8, reg_n=12, diff_n=8,
+                      remap_restarts=remap_restarts, use_ilp=False).final_fn
+            for s in setups
+        ]
+        programs.append((fn, w.bench_args, variants))
+
+    # warm-up outside the timed regions (the numpy import above all)
+    Interpreter(trace_format="columnar").run(programs[0][0], programs[0][1])
+
+    t0 = time.perf_counter()
+    reference = []
+    for _, args, variants in programs:
+        for vf in variants:
+            result = Interpreter(engine="reference").run(vf, args)
+            reference.append(model.time(result.trace))
+    t_ref = time.perf_counter() - t0
+
+    clear_recorded_runs()
+    t0 = time.perf_counter()
+    columnar = []
+    for fn, args, variants in programs:
+        recorded = record_reference_run(fn, args)
+        for vf in variants:
+            result = interpret_or_derive(vf, args, recorded)
+            columnar.append(model.time(
+                result.columnar if result.columnar is not None
+                else result.trace))
+    t_col = time.perf_counter() - t0
+
+    return {
+        "workloads": [w.name for w in workloads],
+        "setups": list(setups),
+        "remap_restarts": remap_restarts,
+        "programs": len(reference),
+        "dynamic_instructions": sum(r.instructions for r in reference),
+        "reference_seconds": t_ref,
+        "columnar_seconds": t_col,
+        "speedup": t_ref / t_col if t_col else float("inf"),
+        "identical_results": reference == columnar,
+    }
+
+
 def collect_benchmarks(remap_restarts: int = 100,
                        sweep_jobs: int = 0,
                        workload: str = "sha",
@@ -124,6 +201,14 @@ def collect_benchmarks(remap_restarts: int = 100,
         "remap": bench_remap_descent(workload=workload, reg_n=reg_n,
                                      restarts=remap_restarts),
         "sweep": bench_sweep(jobs=sweep_jobs),
+    }
+
+
+def collect_sim_benchmarks(**kwargs) -> Dict[str, object]:
+    """The simulation-layer measurements as one JSON-ready document."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "sim": bench_sim(**kwargs),
     }
 
 

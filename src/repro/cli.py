@@ -105,10 +105,11 @@ def _cmd_alternatives(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from repro.analysis.profile import profile_block_frequencies
+    from repro.analysis.profile import (block_frequencies_from_counts,
+                                        profile_block_frequencies)
     from repro.experiments.reporting import Table
-    from repro.ir import Interpreter
-    from repro.machine import LowEndTimingModel
+    from repro.machine import (LowEndTimingModel, interpret_or_derive,
+                               record_reference_run)
     from repro.regalloc import SETUPS, run_setup
     from repro.workloads import get_workload
 
@@ -120,7 +121,11 @@ def _cmd_bench(args) -> int:
         return 1
     fn = workload.function()
     run_args = workload.default_args
-    freq = profile_block_frequencies(fn, run_args)
+    recorded = record_reference_run(fn, run_args)
+    if recorded is not None and recorded.block_instr_counts:
+        freq = block_frequencies_from_counts(fn, recorded.block_instr_counts)
+    else:
+        freq = profile_block_frequencies(fn, run_args)
     timing = LowEndTimingModel()
     verifier = None
     if args.verify_each_pass:
@@ -137,8 +142,9 @@ def _cmd_bench(args) -> int:
         prog = run_setup(fn, setup, freq=freq, remap_restarts=args.restarts,
                          pass_verifier=verifier,
                          remap_seed=args.seed, remap_jobs=jobs)
-        result = Interpreter().run(prog.final_fn, run_args)
-        report = timing.time(result.trace)
+        result = interpret_or_derive(prog.final_fn, run_args, recorded)
+        report = timing.time(result.columnar if result.columnar is not None
+                             else result.trace)
         table.add_row(setup, prog.n_instructions, prog.n_spills,
                       prog.n_setlr, report.cycles)
     print(table.render())
@@ -309,6 +315,21 @@ def _cmd_bench_remap(args) -> int:
         else 1
 
 
+def _cmd_bench_sim(args) -> int:
+    from repro.benchtrack import collect_sim_benchmarks, write_bench_json
+
+    doc = write_bench_json(args.out, doc=collect_sim_benchmarks(
+        n_workloads=args.workloads, remap_restarts=args.restarts))
+    sim = doc["sim"]
+    print(f"simulation layer ({len(sim['workloads'])} workloads x "
+          f"{len(sim['setups'])} setups, "
+          f"{sim['dynamic_instructions']} dynamic instructions): "
+          f"{sim['speedup']:.1f}x vs reference "
+          f"(identical={sim['identical_results']})")
+    print(f"written to {args.out}")
+    return 0 if sim["identical_results"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -436,6 +457,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--restarts", type=int, default=100)
     _add_parallel_args(p, with_seed=False)
     p.set_defaults(func=_cmd_bench_remap)
+
+    p = sub.add_parser("bench-sim",
+                       help="time the columnar interpreter/trace-reuse/"
+                            "vectorized-timing path against the reference "
+                            "simulation path; write BENCH_sim.json")
+    p.add_argument("--out", default="BENCH_sim.json",
+                   help="output JSON path")
+    p.add_argument("--workloads", type=int, default=15,
+                   help="number of MIBENCH kernels to run")
+    p.add_argument("--restarts", type=int, default=5,
+                   help="remap restarts for the (untimed) allocations")
+    p.set_defaults(func=_cmd_bench_sim)
 
     return parser
 

@@ -28,10 +28,11 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.profile import profile_block_frequencies
+from repro.analysis.profile import (block_frequencies_from_counts,
+                                    profile_block_frequencies)
 from repro.experiments.reporting import Table, arith_mean
-from repro.ir.interp import Interpreter
 from repro.machine.lowend import LowEndTimingModel
+from repro.machine.reuse import interpret_or_derive, record_reference_run
 from repro.machine.spec import LOWEND, LowEndConfig
 from repro.regalloc.pipeline import run_setup
 from repro.workloads.mibench import MIBENCH, Workload
@@ -123,7 +124,16 @@ def run_alternatives_study(workloads: Sequence[Workload] = MIBENCH,
     for w in workloads:
         fn = w.function()
         args = w.default_args
-        freq = profile_block_frequencies(fn, args) if profile else None
+        # the three options share one recorded run: their traces differ
+        # only statically, and the machine configs differ only in timing
+        recorded = record_reference_run(fn, args)
+        if not profile:
+            freq = None
+        elif recorded is not None and recorded.block_instr_counts:
+            freq = block_frequencies_from_counts(
+                fn, recorded.block_instr_counts)
+        else:
+            freq = profile_block_frequencies(fn, args)
 
         option_runs = {
             # (setup, base_k, reg_n, machine config, instr bytes)
@@ -135,8 +145,10 @@ def run_alternatives_study(workloads: Sequence[Workload] = MIBENCH,
             prog = run_setup(fn, setup, base_k=base_k, reg_n=reg_n,
                              diff_n=8, remap_restarts=remap_restarts,
                              freq=freq)
-            result = Interpreter().run(prog.final_fn, args)
-            report = LowEndTimingModel(mconfig).time(result.trace)
+            result = interpret_or_derive(prog.final_fn, args, recorded)
+            report = LowEndTimingModel(mconfig).time(
+                result.columnar if result.columnar is not None
+                else result.trace)
             rows.append(AlternativeRow(
                 benchmark=w.name,
                 option=option,

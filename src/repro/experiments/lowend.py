@@ -17,8 +17,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.reporting import Table, arith_mean
-from repro.ir.interp import Interpreter
 from repro.machine.lowend import LowEndTimingModel
+from repro.machine.reuse import interpret_or_derive, record_reference_run
 from repro.machine.spec import LOWEND, LowEndConfig
 from repro.parallel import parallel_map
 from repro.regalloc.pipeline import SETUPS, AllocatedProgram, run_setup
@@ -179,7 +179,8 @@ def _lowend_workload(payload) -> List[BenchmarkRow]:
     """
     (w, wi, setups, base_k, reg_n, diff_n, scale, config, remap_restarts,
      use_ilp, verify, profile, composite, seed) = payload
-    from repro.analysis.profile import profile_block_frequencies
+    from repro.analysis.profile import (block_frequencies_from_counts,
+                                        profile_block_frequencies)
     from repro.workloads.compose import concat_functions
     from repro.workloads.synth import generate_function
 
@@ -193,7 +194,17 @@ def _lowend_workload(payload) -> List[BenchmarkRow]:
                               with_memory=True),
         ])
     args = w.default_args if scale == "default" else w.bench_args
-    freq = profile_block_frequencies(fn, args) if profile else None
+    # one interpretation of the input function serves every setup: the
+    # profile weights below and, via trace derivation, each allocated
+    # variant's dynamic trace (allocation preserves the block path and
+    # data addresses — see repro.machine.reuse)
+    recorded = record_reference_run(fn, args)
+    if not profile:
+        freq = None
+    elif recorded is not None and recorded.block_instr_counts:
+        freq = block_frequencies_from_counts(fn, recorded.block_instr_counts)
+    else:
+        freq = profile_block_frequencies(fn, args)
     rows: List[BenchmarkRow] = []
     checksums = {}
     for setup in setups:
@@ -202,8 +213,9 @@ def _lowend_workload(payload) -> List[BenchmarkRow]:
             remap_restarts=remap_restarts, use_ilp=use_ilp, verify=verify,
             freq=freq, remap_seed=seed,
         )
-        result = Interpreter().run(prog.final_fn, args)
-        report = timing.time(result.trace)
+        result = interpret_or_derive(prog.final_fn, args, recorded)
+        report = timing.time(result.columnar if result.columnar is not None
+                             else result.trace)
         rows.append(BenchmarkRow(
             benchmark=w.name,
             setup=setup,
@@ -269,7 +281,8 @@ def run_lowend_experiment(workloads: Sequence[Workload] = MIBENCH,
     rows: List[BenchmarkRow] = []
     if pass_verifier is not None:
         # serial path, threading the verifier through every run_setup
-        from repro.analysis.profile import profile_block_frequencies
+        from repro.analysis.profile import (block_frequencies_from_counts,
+                                            profile_block_frequencies)
         from repro.workloads.compose import concat_functions
         from repro.workloads.synth import generate_function
 
@@ -285,7 +298,14 @@ def run_lowend_experiment(workloads: Sequence[Workload] = MIBENCH,
                                       base_values=7, with_memory=True),
                 ])
             args = w.default_args if scale == "default" else w.bench_args
-            freq = profile_block_frequencies(fn, args) if profile else None
+            recorded = record_reference_run(fn, args)
+            if not profile:
+                freq = None
+            elif recorded is not None and recorded.block_instr_counts:
+                freq = block_frequencies_from_counts(
+                    fn, recorded.block_instr_counts)
+            else:
+                freq = profile_block_frequencies(fn, args)
             checksums = {}
             for setup in setups:
                 pass_verifier.prefix = w.name
@@ -295,8 +315,10 @@ def run_lowend_experiment(workloads: Sequence[Workload] = MIBENCH,
                     verify=verify, freq=freq, pass_verifier=pass_verifier,
                     remap_seed=seed,
                 )
-                result = Interpreter().run(prog.final_fn, args)
-                report = timing.time(result.trace)
+                result = interpret_or_derive(prog.final_fn, args, recorded)
+                report = timing.time(result.columnar
+                                     if result.columnar is not None
+                                     else result.trace)
                 rows.append(BenchmarkRow(
                     benchmark=w.name,
                     setup=setup,

@@ -15,10 +15,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.profile import profile_block_frequencies
+from repro.analysis.profile import (block_frequencies_from_counts,
+                                    profile_block_frequencies)
 from repro.experiments.reporting import Table, arith_mean
-from repro.ir.interp import Interpreter
 from repro.machine.lowend import LowEndTimingModel
+from repro.machine.reuse import interpret_or_derive, record_reference_run
 from repro.machine.spec import LOWEND, LowEndConfig
 from repro.parallel import parallel_map
 from repro.regalloc.pipeline import run_setup
@@ -75,7 +76,12 @@ def _sweep_workload(payload) -> List[Tuple[float, float, float, float]]:
     timing = LowEndTimingModel(config)
     fn = w.function()
     args = w.default_args
-    freq = profile_block_frequencies(fn, args)
+    # one interpretation serves the profile and every sweep point's trace
+    recorded = record_reference_run(fn, args)
+    if recorded is not None and recorded.block_instr_counts:
+        freq = block_frequencies_from_counts(fn, recorded.block_instr_counts)
+    else:
+        freq = profile_block_frequencies(fn, args)
     base_cycles: Optional[float] = None
     base_energy: Optional[float] = None
     stats: List[Tuple[float, float, float, float]] = []
@@ -84,8 +90,9 @@ def _sweep_workload(payload) -> List[Tuple[float, float, float, float]]:
         prog = run_setup(fn, setup, base_k=diff_n, reg_n=reg_n,
                          diff_n=diff_n, remap_restarts=remap_restarts,
                          use_ilp=use_ilp, freq=freq, remap_seed=remap_seed)
-        result = Interpreter().run(prog.final_fn, args)
-        report = timing.time(result.trace)
+        result = interpret_or_derive(prog.final_fn, args, recorded)
+        report = timing.time(result.columnar if result.columnar is not None
+                             else result.trace)
         if base_cycles is None:
             base_cycles = float(report.cycles)
             base_energy = report.energy

@@ -23,6 +23,7 @@ from repro.ir.builder import FunctionBuilder
 from repro.ir.printer import format_function, format_instr
 from repro.ir.parser import parse_function, ParseError
 from repro.ir.interp import ExecutionResult, Interpreter, InterpError
+from repro.ir.trace import ColumnarTrace, FunctionCodec, derive_trace
 from repro.ir.lowering import is_two_address, to_two_address
 from repro.ir.scheduler import list_schedule
 from repro.ir.transforms import (
@@ -59,4 +60,7 @@ __all__ = [
     "ExecutionResult",
     "Interpreter",
     "InterpError",
+    "ColumnarTrace",
+    "FunctionCodec",
+    "derive_trace",
 ]

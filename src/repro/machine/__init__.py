@@ -7,9 +7,12 @@
   Section 10.2 VLIW).
 """
 
-from repro.machine.cache import Cache, CacheStats
+from repro.machine.cache import Cache, CacheStats, access_hit_flags
 from repro.machine.decoder import DecoderCostModel, DecoderEstimate
 from repro.machine.lowend import CycleReport, LowEndTimingModel, simulate
+from repro.machine.reuse import (clear_recorded_runs, derive_execution,
+                                 interpret_or_derive, record_reference_run,
+                                 trace_reuse_enabled)
 from repro.machine.spec import LOWEND, VLIW, LowEndConfig, VLIWConfig
 
 __all__ = [
@@ -17,9 +20,15 @@ __all__ = [
     "DecoderEstimate",
     "Cache",
     "CacheStats",
+    "access_hit_flags",
     "CycleReport",
     "LowEndTimingModel",
     "simulate",
+    "trace_reuse_enabled",
+    "record_reference_run",
+    "derive_execution",
+    "interpret_or_derive",
+    "clear_recorded_runs",
     "LOWEND",
     "VLIW",
     "LowEndConfig",

@@ -48,6 +48,16 @@ class LowEndConfig:
     energy_cache_miss: float = 10.0
     energy_core_per_cycle: float = 0.5
 
+    def extra_latency_table(self, op_names: Tuple[str, ...]) -> Tuple[int, ...]:
+        """The ``extra_latency`` map as a dense table over ``op_names``.
+
+        The vectorized timing model indexes this with an opcode-code
+        column; ops without an entry cost zero extra cycles, matching
+        ``extra_latency.get(op, 0)``.  (A method rather than a cached
+        attribute because the dict field keeps this dataclass unhashable.)
+        """
+        return tuple(self.extra_latency.get(op, 0) for op in op_names)
+
     def rows(self) -> Tuple[Tuple[str, str], ...]:
         """Table 1 as printable rows."""
         return (

@@ -1,0 +1,206 @@
+"""Equivalence properties for the columnar simulation layer.
+
+Three layers, each with a reference implementation kept in-tree, each
+asserted bit-identical to its fast counterpart:
+
+* :func:`repro.machine.cache.access_hit_flags` vs a scalar
+  :class:`~repro.machine.cache.Cache` replay, on random address streams
+  over several geometries (associativities 1, 2, 4, 8 — covering both
+  closed forms and the compressed-replay fallback, negative addresses
+  included);
+* the fast (pre-compiled) interpreter engine vs ``engine="reference"``,
+  on random generated programs and the MIBENCH suite — return value,
+  step count, dynamic opcode counts and the full object trace;
+* the three timing engines (vectorized, columnar-scalar, per-entry
+  reference) on the resulting traces — every :class:`CycleReport` field.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.ir import Interpreter
+from repro.ir.trace import NO_ADDR, OP_NAMES, numpy_or_none
+from repro.machine import LOWEND, Cache, LowEndTimingModel, access_hit_flags
+from repro.workloads import generate_function
+from repro.workloads.mibench import MIBENCH
+
+np = numpy_or_none()
+needs_numpy = pytest.mark.skipif(np is None, reason="numpy unavailable")
+
+COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: (size, line_size, assoc) — assoc 1 and 2 have closed vector forms,
+#: 4 and 8 exercise the compressed per-set replay
+GEOMETRIES = [
+    (256, 16, 1),
+    (512, 32, 2),
+    (8192, 32, 2),
+    (1024, 32, 4),
+    (2048, 64, 8),
+]
+
+
+def report_fields(report):
+    """Every CycleReport field except the shared config object."""
+    return (report.cycles, report.instructions, report.icache_misses,
+            report.dcache_misses, report.dcache_accesses,
+            report.branch_penalties, report.setlr_executed)
+
+
+def column(col):
+    """A column as a plain list, whether numpy array or list."""
+    return col.tolist() if hasattr(col, "tolist") else list(col)
+
+
+def synth_programs():
+    return st.builds(
+        generate_function,
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_regions=st.integers(min_value=1, max_value=5),
+        base_values=st.integers(min_value=3, max_value=12),
+        with_memory=st.booleans(),
+    )
+
+
+@needs_numpy
+class TestCacheBatchEquivalence:
+    @given(data=st.data())
+    @settings(max_examples=120, **COMMON)
+    def test_batch_flags_match_scalar_replay(self, data):
+        size, line, assoc = data.draw(st.sampled_from(GEOMETRIES))
+        # a narrow address range forces set conflicts and re-references;
+        # negatives exercise the floor-division tag/index arithmetic
+        addrs = data.draw(st.lists(
+            st.integers(min_value=-4096, max_value=4096), max_size=300
+        ))
+        cache = Cache(size, line, assoc)
+        expected = [cache.access(a) for a in addrs]
+        flags = access_hit_flags(np.asarray(addrs, dtype=np.int64),
+                                 size, line, assoc, np=np)
+        assert flags.tolist() == expected
+
+    @given(data=st.data())
+    @settings(max_examples=60, **COMMON)
+    def test_batch_flags_match_on_wide_addresses(self, data):
+        size, line, assoc = data.draw(st.sampled_from(GEOMETRIES))
+        addrs = data.draw(st.lists(
+            st.integers(min_value=-(1 << 26), max_value=1 << 26), max_size=200
+        ))
+        cache = Cache(size, line, assoc)
+        expected = [cache.access(a) for a in addrs]
+        flags = access_hit_flags(np.asarray(addrs, dtype=np.int64),
+                                 size, line, assoc, np=np)
+        assert flags.tolist() == expected
+
+    def test_scalar_fallback_matches(self):
+        addrs = [0, 32, 64, 0, 32, 4096, 0, -32, -64, -32]
+        cache = Cache(512, 32, 2)
+        expected = [cache.access(a) for a in addrs]
+        assert access_hit_flags(addrs, 512, 32, 2, np=None) == expected
+
+
+class TestInterpreterEngineEquivalence:
+    @given(fn=synth_programs(), arg=st.integers(min_value=0, max_value=4))
+    @settings(max_examples=40, **COMMON)
+    def test_fast_matches_reference(self, fn, arg):
+        fast = Interpreter(engine="fast").run(fn, (arg,))
+        ref = Interpreter(engine="reference").run(fn, (arg,))
+        assert fast.return_value == ref.return_value
+        assert fast.steps == ref.steps
+        ops = {e.instr.op for e in ref.trace}
+        assert {op: fast.count(op) for op in ops} == \
+               {op: ref.count(op) for op in ops}
+        assert [(e.static_index, e.instr.op, e.mem_addr) for e in fast.trace] \
+            == [(e.static_index, e.instr.op, e.mem_addr) for e in ref.trace]
+
+    @pytest.mark.parametrize("w", MIBENCH, ids=lambda w: w.name)
+    def test_fast_matches_reference_on_mibench(self, w):
+        fn = w.function()
+        fast = Interpreter(engine="fast").run(fn, w.default_args)
+        ref = Interpreter(engine="reference").run(fn, w.default_args)
+        assert fast.return_value == ref.return_value
+        assert fast.steps == ref.steps
+        assert [(e.static_index, e.instr.op, e.mem_addr) for e in fast.trace] \
+            == [(e.static_index, e.instr.op, e.mem_addr) for e in ref.trace]
+
+    @given(fn=synth_programs(), arg=st.integers(min_value=0, max_value=4))
+    @settings(max_examples=25, **COMMON)
+    def test_count_without_trace_recording(self, fn, arg):
+        recorded = Interpreter(engine="fast").run(fn, (arg,))
+        bare = Interpreter(record_trace=False, engine="fast").run(fn, (arg,))
+        assert bare.trace == []
+        assert bare.columnar is None
+        assert bare.return_value == recorded.return_value
+        assert bare.steps == recorded.steps
+        ops = {e.instr.op for e in recorded.trace}
+        assert {op: bare.count(op) for op in ops} == \
+               {op: recorded.count(op) for op in ops}
+        assert bare.block_instr_counts == recorded.block_instr_counts
+
+    def test_columnar_format_matches_objects(self, sum_fn):
+        obj = Interpreter(engine="fast").run(sum_fn, (9,))
+        col = Interpreter(trace_format="columnar", engine="fast").run(sum_fn, (9,))
+        assert col.trace == []
+        assert col.columnar is not None
+        assert len(col.columnar) == col.steps == obj.steps
+        assert [(e.static_index, e.instr.op, e.mem_addr)
+                for e in col.columnar.to_entries()] \
+            == [(e.static_index, e.instr.op, e.mem_addr) for e in obj.trace]
+
+    def test_columnar_counts_match_trace(self, sum_fn):
+        res = Interpreter(trace_format="columnar", engine="fast").run(sum_fn, (9,))
+        counts = res.columnar.counts()
+        assert sum(counts.values()) == res.steps
+        for op, c in counts.items():
+            assert op in OP_NAMES
+            assert res.count(op) == c
+
+
+class TestTimingEngineEquivalence:
+    @pytest.mark.parametrize("w", MIBENCH, ids=lambda w: w.name)
+    def test_three_engines_agree_on_mibench(self, w, monkeypatch):
+        fn = w.function()
+        result = Interpreter(engine="fast").run(fn, w.default_args)
+        model = LowEndTimingModel(LOWEND)
+        reference = model.time(result.trace)
+        assert result.columnar is not None
+        scalar = model._time_columnar_scalar(result.columnar)
+        assert report_fields(scalar) == report_fields(reference)
+        if result.columnar.is_vector:
+            vectorized = model._time_vectorized(result.columnar)
+            assert report_fields(vectorized) == report_fields(reference)
+            # and the escape hatch routes the public entry point the
+            # same place as the scalar engine
+            monkeypatch.setenv("REPRO_NO_SIM_VECTOR", "1")
+            hatch = model.time(result.columnar)
+            assert report_fields(hatch) == report_fields(reference)
+
+    @given(fn=synth_programs(), arg=st.integers(min_value=0, max_value=4))
+    @settings(max_examples=30, **COMMON)
+    def test_engines_agree_on_random_programs(self, fn, arg):
+        result = Interpreter(trace_format="columnar", engine="fast").run(fn, (arg,))
+        if result.columnar is None:
+            return  # reference-engine fallback: nothing columnar to compare
+        model = LowEndTimingModel(LOWEND)
+        reference = model.time(result.columnar.to_entries())
+        assert report_fields(model._time_columnar_scalar(result.columnar)) \
+            == report_fields(reference)
+        if result.columnar.is_vector:
+            assert report_fields(model._time_vectorized(result.columnar)) \
+                == report_fields(reference)
+
+    def test_empty_trace(self):
+        model = LowEndTimingModel(LOWEND)
+        assert report_fields(model.time([])) == (0, 0, 0, 0, 0, 0, 0)
+
+    @needs_numpy
+    def test_mem_addr_sentinel_excludes_no_access(self, sum_fn):
+        result = Interpreter(trace_format="columnar", engine="fast").run(sum_fn, (5,))
+        ct = result.columnar
+        assert ct is not None
+        report = LowEndTimingModel(LOWEND).time(ct)
+        n_data = sum(1 for m in column(ct.mem_addr) if m != NO_ADDR)
+        assert report.dcache_accesses == n_data
