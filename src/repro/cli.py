@@ -330,6 +330,100 @@ def _cmd_bench_sim(args) -> int:
     return 0 if sim["identical_results"] else 1
 
 
+def _fuzz_config_from_args(args):
+    from repro.fuzz import FuzzConfig
+
+    try:
+        return FuzzConfig(
+            n_regions=args.regions, loop_depth=args.loop_depth,
+            base_values=args.values, ops_per_block=args.ops,
+            loop_trip=args.trip, fresh_bias=args.fresh_bias,
+            call_density=args.calls, mem_density=args.mem,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
+def _add_fuzz_knobs(p) -> None:
+    """Generator knobs shared by ``fuzz repro`` and ``fuzz gen``; the
+    defaults mirror :class:`repro.fuzz.FuzzConfig`."""
+    p.add_argument("--regions", type=int, default=4,
+                   help="sequential control-flow regions")
+    p.add_argument("--loop-depth", type=int, default=1,
+                   help="maximum loop nesting depth (0 = no loops)")
+    p.add_argument("--values", type=int, default=8,
+                   help="values initialised up front (pressure floor)")
+    p.add_argument("--ops", type=int, default=5,
+                   help="ALU instructions per straight run")
+    p.add_argument("--trip", type=int, default=3,
+                   help="maximum loop trip count")
+    p.add_argument("--fresh-bias", type=float, default=0.25,
+                   help="probability an ALU result starts a new live range")
+    p.add_argument("--calls", type=float, default=0.0,
+                   help="call density per region body")
+    p.add_argument("--mem", type=float, default=0.0,
+                   help="memory-op density per region body")
+
+
+def _fuzz_setups(args):
+    from repro.regalloc.pipeline import SETUPS
+
+    if not args.setups:
+        return None
+    setups = tuple(s.strip() for s in args.setups.split(",") if s.strip())
+    for s in setups:
+        if s not in SETUPS:
+            raise SystemExit(f"unknown setup {s!r}; expected one of {SETUPS}")
+    return setups
+
+
+def _cmd_fuzz_run(args) -> int:
+    from repro.fuzz import run_fuzz
+    from repro.fuzz.harness import format_failure, shrink_case
+    from repro.fuzz.gen import FuzzConfig
+
+    jobs = _resolve_cli_jobs(args)
+    if jobs is None:
+        return 2
+    setups = _fuzz_setups(args)
+    report = run_fuzz(args.seed, args.cases, jobs=jobs, setups=setups,
+                      restarts=args.restarts)
+    print(report.summary())
+    if report.ok:
+        return 0
+    first = report.failures[0]
+    config = FuzzConfig.from_dict(dict(first["config"]))
+    shrunk = shrink_case(int(first["seed"]), config, setups, args.restarts)
+    text = format_failure(first, shrunk)
+    print(text)
+    if args.repro_out:
+        with open(args.repro_out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"minimized reproducer written to {args.repro_out}")
+    return 1
+
+
+def _cmd_fuzz_repro(args) -> int:
+    from repro.fuzz.harness import format_failure, run_case
+
+    outcome = run_case(args.seed, _fuzz_config_from_args(args),
+                       _fuzz_setups(args), args.restarts)
+    if not outcome["failures"]:
+        print(f"case seed={args.seed}: all oracles agree")
+        return 0
+    print(format_failure(outcome))
+    return 1
+
+
+def _cmd_fuzz_gen(args) -> int:
+    from repro.fuzz import generate_fuzz_function
+    from repro.ir import format_function
+
+    print(format_function(
+        generate_fuzz_function(args.seed, _fuzz_config_from_args(args))))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -457,6 +551,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--restarts", type=int, default=100)
     _add_parallel_args(p, with_seed=False)
     p.set_defaults(func=_cmd_bench_remap)
+
+    p = sub.add_parser("fuzz",
+                       help="differential fuzzing: random programs through "
+                            "every allocator setup and oracle pair")
+    fuzz_sub = p.add_subparsers(dest="fuzz_command", required=True)
+
+    fp = fuzz_sub.add_parser("run", help="run a seeded fuzz campaign")
+    fp.add_argument("--cases", type=int, default=50,
+                    help="number of generated programs")
+    fp.add_argument("--restarts", type=int, default=2,
+                    help="remapping restarts per differential setup")
+    fp.add_argument("--setups", default="",
+                    help="comma-separated setup subset (default: all)")
+    fp.add_argument("--repro-out", default="",
+                    help="write the minimized reproducer of the first "
+                         "failure to this file (CI artifact)")
+    _add_parallel_args(fp)
+    fp.set_defaults(func=_cmd_fuzz_run)
+
+    fp = fuzz_sub.add_parser("repro",
+                             help="replay one case from its seed and knobs")
+    fp.add_argument("--seed", type=int, required=True,
+                    help="generator seed of the case")
+    fp.add_argument("--restarts", type=int, default=2)
+    fp.add_argument("--setups", default="")
+    _add_fuzz_knobs(fp)
+    fp.set_defaults(func=_cmd_fuzz_repro)
+
+    fp = fuzz_sub.add_parser("gen",
+                             help="print the program one seed generates")
+    fp.add_argument("--seed", type=int, required=True)
+    _add_fuzz_knobs(fp)
+    fp.set_defaults(func=_cmd_fuzz_gen)
 
     p = sub.add_parser("bench-sim",
                        help="time the columnar interpreter/trace-reuse/"

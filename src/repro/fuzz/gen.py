@@ -1,0 +1,378 @@
+"""Seeded random IR generator for the fuzzing harness.
+
+Builds on the same pool discipline as :mod:`repro.workloads.synth` — every
+value an instruction may read is initialised in the entry block or earlier
+on every path — but exposes the full knob set the differential harness
+sweeps: region count, loop nesting depth, register pressure, call density
+and memory-op density.  Output is guaranteed to pass the L001-L009 lint
+rules *by construction*:
+
+* every block ends before a new one starts and the last block returns
+  (L001: terminators);
+* sources are always drawn from the already-defined pool and fresh values
+  are only defined at points that dominate their uses — never inside one
+  arm of a diamond (L002: def-before-use);
+* no physical registers, spill ops or ``setlr`` appear (L003/L007/L008);
+* every emitted block is reachable: diamond arms and join blocks hang off
+  the branch that creates them, loop bodies off the loop entry (L009).
+
+Determinism is a contract, not an accident: the only entropy source is the
+single ``random.Random(seed)`` stream, so one ``(seed, config)`` pair names
+one program forever — that is what makes ``repro fuzz repro --seed N``
+reproduce a failure found on another machine or under ``--jobs 16``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Iterator, List, Optional
+
+from repro.ir.builder import FunctionBuilder
+from repro.ir.function import Function
+from repro.ir.instr import Instr, Reg
+
+__all__ = [
+    "FuzzConfig",
+    "generate_fuzz_function",
+    "generate_pressure_function",
+    "generate_loop_ddg",
+    "knob_matrix",
+]
+
+_ALU_TWO = ("add", "sub", "mul", "xor", "or", "and")
+_ALU_IMM = ("addi", "subi", "muli", "xori", "andi", "shri")
+_BRANCHES = ("beq", "bne", "blt", "bge")
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Generator knobs.  One config + one seed = one program.
+
+    ============= ====================================================
+    knob          meaning
+    ============= ====================================================
+    n_regions     sequential control-flow regions (straight/diamond/loop)
+    loop_depth    maximum loop nesting depth (0 = no loops at all)
+    base_values   values initialised up front — the register-pressure floor
+    ops_per_block ALU instructions per straight run
+    loop_trip     maximum trip count of any single loop
+    fresh_bias    probability an ALU result starts a new live range
+    call_density  probability a region body contains a ``call``
+    mem_density   probability a region body contains a ``st``/``ld`` pair
+    ============= ====================================================
+    """
+
+    n_regions: int = 4
+    loop_depth: int = 1
+    base_values: int = 8
+    ops_per_block: int = 5
+    loop_trip: int = 3
+    fresh_bias: float = 0.25
+    call_density: float = 0.0
+    mem_density: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_regions < 1:
+            raise ValueError("n_regions must be >= 1")
+        if self.loop_depth < 0:
+            raise ValueError("loop_depth must be >= 0")
+        if self.base_values < 2:
+            raise ValueError("base_values must be >= 2")
+        if self.ops_per_block < 2:
+            raise ValueError("ops_per_block must be >= 2")
+        if self.loop_trip < 1:
+            raise ValueError("loop_trip must be >= 1")
+        for knob in ("fresh_bias", "call_density", "mem_density"):
+            v = getattr(self, knob)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{knob} must be in [0, 1], got {v}")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form — the picklable payload the harness fans out."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "FuzzConfig":
+        return cls(**d)
+
+    def cli_args(self) -> str:
+        """The ``repro fuzz repro`` flags that reproduce this config."""
+        return (f"--regions {self.n_regions} --loop-depth {self.loop_depth} "
+                f"--values {self.base_values} --ops {self.ops_per_block} "
+                f"--trip {self.loop_trip} --fresh-bias {self.fresh_bias} "
+                f"--calls {self.call_density} --mem {self.mem_density}")
+
+
+def knob_matrix() -> List[FuzzConfig]:
+    """A bounded matrix covering every knob at its interesting extremes.
+
+    Each knob is exercised at its minimum, a middle value and a stressed
+    value while the others stay at defaults, plus a handful of corner
+    combinations (everything-minimal, everything-stressed, calls+memory
+    together).  The generator-soundness test runs every entry through
+    strict lint and the interpreter.
+    """
+    base = FuzzConfig()
+    matrix: List[FuzzConfig] = [base]
+    per_knob = {
+        "n_regions": (1, 2, 6),
+        "loop_depth": (0, 2, 3),
+        "base_values": (2, 5, 14),
+        "ops_per_block": (2, 4, 8),
+        "loop_trip": (1, 2, 5),
+        "fresh_bias": (0.0, 0.5, 1.0),
+        "call_density": (0.0, 0.5, 1.0),
+        "mem_density": (0.0, 0.5, 1.0),
+    }
+    for knob, values in per_knob.items():
+        for v in values:
+            cfg = replace(base, **{knob: v})
+            if cfg not in matrix:
+                matrix.append(cfg)
+    matrix.append(FuzzConfig(n_regions=1, loop_depth=0, base_values=2,
+                             ops_per_block=2, loop_trip=1, fresh_bias=0.0))
+    matrix.append(FuzzConfig(n_regions=6, loop_depth=3, base_values=14,
+                             ops_per_block=8, loop_trip=4, fresh_bias=0.6,
+                             call_density=0.5, mem_density=0.5))
+    matrix.append(FuzzConfig(call_density=1.0, mem_density=1.0))
+    return matrix
+
+
+def _emit_alu(fb: FunctionBuilder, rng: random.Random, pool: List[Reg],
+              fresh_bias: float) -> None:
+    """One ALU instruction over defined values; sources drawn before any
+    fresh destination joins the pool, so nothing reads its own result."""
+    if rng.random() < 0.7:
+        op = rng.choice(_ALU_TWO)
+        srcs = (rng.choice(pool), rng.choice(pool))
+        imm = None
+    else:
+        op = rng.choice(_ALU_IMM)
+        srcs = (rng.choice(pool),)
+        imm = rng.randrange(1, 64)
+    if rng.random() < fresh_bias:
+        dst = fb.vreg()
+        pool.append(dst)
+    else:
+        dst = rng.choice(pool)
+    fb.emit(Instr(op, dst=dst, srcs=srcs, imm=imm))
+
+
+class _Gen:
+    """One generation run: builder + pool + fresh-label counters."""
+
+    def __init__(self, seed: int, config: FuzzConfig, name: str) -> None:
+        self.rng = random.Random(seed)
+        self.cfg = config
+        self.fb = FunctionBuilder(name)
+        n = self.fb.vreg()
+        self.fb.params = (n,)
+        self.pool: List[Reg] = [n]
+        self.param = n
+        self.base: Optional[Reg] = None
+        self.n_calls = 0
+        self.n_labels = 0
+
+    def label(self, stem: str) -> str:
+        self.n_labels += 1
+        return f"{stem}{self.n_labels}"
+
+    # ------------------------------------------------------------------
+    # unconditional emissions (safe to define fresh values)
+    # ------------------------------------------------------------------
+
+    def maybe_memory(self) -> None:
+        """A store/load pair against the shared base pointer."""
+        if self.base is None or self.rng.random() >= self.cfg.mem_density:
+            return
+        self.fb.st(self.rng.choice(self.pool), self.base,
+                   self.rng.randrange(8))
+        out = self.fb.vreg()
+        self.fb.ld(out, self.base, self.rng.randrange(8))
+        self.pool.append(out)
+
+    def maybe_call(self) -> None:
+        """A call with explicit use/def register effects."""
+        if self.rng.random() >= self.cfg.call_density:
+            return
+        n_uses = self.rng.randrange(0, min(3, len(self.pool)) + 1)
+        uses = tuple(self.rng.sample(self.pool, n_uses))
+        ret = self.fb.vreg()
+        self.n_calls += 1
+        self.fb.call(f"ext{self.n_calls}", uses=uses, defs=(ret,))
+        self.pool.append(ret)
+
+    def straight(self, n_ops: int, fresh_bias: float) -> None:
+        for _ in range(n_ops):
+            _emit_alu(self.fb, self.rng, self.pool, fresh_bias)
+
+    # ------------------------------------------------------------------
+    # regions
+    # ------------------------------------------------------------------
+
+    def diamond(self) -> None:
+        """An if/else diamond.  Arms define no fresh values (one arm may
+        not execute, so a fresh def there would be conditional)."""
+        rng, fb, cfg = self.rng, self.fb, self.cfg
+        a, b = rng.choice(self.pool), rng.choice(self.pool)
+        else_l, join_l = self.label("else"), self.label("join")
+        fb.emit(Instr(rng.choice(_BRANCHES), srcs=(a, b), label=else_l))
+        fb.block(self.label("then"))
+        self.straight(rng.randrange(1, cfg.ops_per_block), 0.0)
+        fb.br(join_l)
+        fb.block(else_l)
+        self.straight(rng.randrange(1, cfg.ops_per_block), 0.0)
+        fb.block(join_l)
+        fb.nop()
+
+    def loop(self, depth: int) -> None:
+        """A counted loop; body may contain calls, memory ops and — up to
+        ``loop_depth`` — another loop.  The trip count is at least one, so
+        body defs dominate everything after the loop."""
+        rng, fb, cfg = self.rng, self.fb, self.cfg
+        counter, limit = fb.vregs(2)
+        fb.li(counter, 0)
+        fb.li(limit, rng.randrange(1, cfg.loop_trip + 1))
+        head = self.label("loop")
+        fb.block(head)
+        self.straight(rng.randrange(2, cfg.ops_per_block + 1),
+                      cfg.fresh_bias)
+        self.maybe_memory()
+        self.maybe_call()
+        if depth < cfg.loop_depth and rng.random() < 0.6:
+            self.loop(depth + 1)
+        fb.addi(counter, counter, 1)
+        fb.blt(counter, limit, head)
+        fb.block(self.label("done"))
+        fb.nop()
+
+    def trim_pool(self) -> None:
+        """Keep register pressure near ``base_values`` instead of growing
+        without bound as fresh values accumulate."""
+        cap = self.cfg.base_values * 3
+        if len(self.pool) > cap:
+            self.pool[:] = self.rng.sample(self.pool,
+                                           self.cfg.base_values * 2)
+            if self.param not in self.pool:
+                self.pool.append(self.param)
+
+    def run(self) -> Function:
+        rng, fb, cfg = self.rng, self.fb, self.cfg
+        fb.block("entry")
+        for _ in range(cfg.base_values):
+            v = fb.vreg()
+            fb.li(v, rng.randrange(1, 100))
+            self.pool.append(v)
+        if cfg.mem_density > 0.0:
+            self.base = fb.vreg()
+            fb.li(self.base, 0x1000)
+            self.pool.append(self.base)
+
+        kinds = ["straight", "diamond"]
+        if cfg.loop_depth >= 1:
+            kinds.append("loop")
+        for _ in range(cfg.n_regions):
+            self.trim_pool()
+            kind = rng.choice(kinds)
+            if kind == "straight":
+                self.straight(rng.randrange(2, cfg.ops_per_block + 1),
+                              cfg.fresh_bias)
+                self.maybe_memory()
+                self.maybe_call()
+            elif kind == "diamond":
+                self.diamond()
+            else:
+                self.loop(depth=1)
+
+        fb.block("collect")
+        acc = fb.vreg()
+        fb.li(acc, 0)
+        for v in self.pool:
+            fb.add(acc, acc, v)
+        fb.ret(acc)
+        return fb.build()
+
+
+def generate_fuzz_function(seed: int, config: Optional[FuzzConfig] = None,
+                           name: Optional[str] = None) -> Function:
+    """Generate one well-formed, always-terminating, lint-clean function.
+
+    ``(seed, config)`` fully determines the output; the function takes one
+    integer parameter and returns a checksum of its live values, so any
+    register-allocation miscompile that reaches the exit perturbs the
+    return value.
+    """
+    config = config or FuzzConfig()
+    return _Gen(seed, config, name or f"fuzz{seed}").run()
+
+
+def generate_pressure_function(nvals: int = 14, seed: int = 1,
+                               iters: int = 20,
+                               name: str = "pressure") -> Function:
+    """A loop kernel keeping ``nvals`` values live across iterations.
+
+    The canonical spill-pressure workload: with ``nvals`` above the
+    register count every allocator must spill, which is what the spill
+    mutation classes (dropped reloads, shuffled slots) need to bite on.
+    Previously duplicated as ``make_pressure_fn`` in ``tests/conftest.py``.
+    """
+    rng = random.Random(seed)
+    fb = FunctionBuilder(name)
+    n = fb.vreg()
+    fb.params = (n,)
+    vals = fb.vregs(nvals)
+    fb.block("entry")
+    for j, v in enumerate(vals):
+        fb.li(v, j + 1)
+    i = fb.vreg()
+    fb.li(i, 0)
+    fb.block("loop")
+    for _ in range(iters):
+        a, b = rng.sample(vals, 2)
+        d = rng.choice(vals)
+        fb.add(d, a, b)
+    fb.addi(i, i, 1)
+    fb.blt(i, n, "loop")
+    fb.block("exit")
+    acc = fb.vreg()
+    fb.li(acc, 0)
+    for v in vals:
+        fb.add(acc, acc, v)
+    fb.ret(acc)
+    return fb.build()
+
+
+def generate_loop_ddg(seed: int, max_ops: int = 28):
+    """A random well-formed loop DDG for the software-pipelining suite.
+
+    Acyclic dataflow plus (sometimes) one bounded-latency recurrence —
+    the same shape ``tests/test_swp_properties.py`` used to build inline.
+    Imported lazily so the fuzz layer has no hard dependency on the SWP
+    substrate.
+    """
+    from repro.swp import Dep, LoopDDG, LoopOp
+
+    kinds = [("alu", 1), ("alu", 1), ("mul", 3), ("mem_load", 2),
+             ("mem_store", 2)]
+    rng = random.Random(seed)
+    n = rng.randrange(2, max_ops + 1)
+    ops = []
+    deps = []
+    for i in range(n):
+        kind, lat = rng.choice(kinds)
+        ops.append(LoopOp(i, kind, lat))
+        if i and rng.random() < 0.8:
+            src = rng.randrange(i)
+            if ops[src].produces_value:
+                deps.append(Dep(src, i, 0, is_data=True))
+    if n >= 4 and rng.random() < 0.5:
+        late = rng.randrange(n // 2, n)
+        early = rng.randrange(n // 2)
+        if ops[late].produces_value and late != early:
+            deps.append(Dep(late, early, distance=rng.randint(1, 2),
+                            is_data=True))
+    trip = rng.randrange(4, 50)
+    return LoopDDG(ops, sorted(set(deps),
+                               key=lambda d: (d.src, d.dst, d.distance)),
+                   trip_count=trip)

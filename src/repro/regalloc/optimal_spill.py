@@ -566,7 +566,7 @@ def apply_residence(fn: Function, plan: ResidencePlan,
         n = len(b.instrs)
         for j, instr in enumerate(b.instrs):
             mapping: Dict[Reg, Reg] = {}
-            def_override: Optional[Reg] = None
+            def_overrides: Dict[Reg, Reg] = {}
             post_ops: List[Instr] = []
             for v in sorted(plan.spilled):
                 toks = token_maps[v][b.name]
@@ -591,10 +591,11 @@ def apply_residence(fn: Function, plan: ResidencePlan,
                         # instruction still writes a register — give it a
                         # fresh throwaway name (the use operands, if any,
                         # keep the mapping chosen above)
-                        def_override = Reg(next_vreg, virtual=True, cls="int")
+                        def_overrides[v] = Reg(next_vreg, virtual=True,
+                                               cls="int")
                         next_vreg += 1
                     else:
-                        def_override = reg_of(post_tok)
+                        def_overrides[v] = reg_of(post_tok)
                 # transitions across this instruction
                 if pre_tok is None and post_tok is not None and not defd:
                     post_ops.append(
@@ -609,9 +610,18 @@ def apply_residence(fn: Function, plan: ResidencePlan,
                                   imm=slots.slot_for(v))
                         )
             rewritten = instr.rewrite(mapping) if mapping else instr
-            if def_override is not None:
+            if def_overrides:
                 rewritten = rewritten.copy()
-                rewritten.dst = def_override
+                if rewritten.op == "call":
+                    # call defs live in call_defs, not dst; resolve from the
+                    # *original* operands — the use mapping above may already
+                    # have renamed a use-and-def register to its pre-token
+                    rewritten.call_defs = tuple(
+                        def_overrides.get(r, mapping.get(r, r))
+                        for r in instr.call_defs
+                    )
+                else:
+                    rewritten.dst = next(iter(def_overrides.values()))
             if j == n - 1 and rewritten.op in ("br", "ret", "beq", "bne",
                                                "blt", "bge", "bgt", "ble"):
                 new_instrs.extend(post_ops)  # before the terminator

@@ -1,0 +1,102 @@
+"""The differential oracle harness and its CLI surface.
+
+Bounded seeded runs must come back clean (any discrepancy here is a real
+pipeline bug); serial and parallel runs must be bit-identical (all
+randomness flows through ``derive_seed``); shrinking must walk a failing
+config down to a minimal one; and the ``repro fuzz`` CLI must round-trip
+a case from the printed reproduction command.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.fuzz import FuzzConfig, repro_command, run_case, run_fuzz, shrink_config
+from repro.fuzz.harness import case_seed, default_config
+from repro.parallel import derive_seed
+
+
+class TestRunFuzz:
+    def test_bounded_run_is_clean(self):
+        report = run_fuzz(3, 12, jobs=1, restarts=1)
+        assert report.ok, report.failures[:1]
+        assert len(report.cases) == 12
+
+    def test_serial_equals_parallel(self):
+        serial = run_fuzz(9, 8, jobs=1, restarts=1)
+        parallel = run_fuzz(9, 8, jobs=2, restarts=1)
+        assert serial.cases == parallel.cases
+
+    def test_case_seeds_derive_from_base(self):
+        assert case_seed(5, 0) == derive_seed(5, "fuzz-case", 0)
+        assert case_seed(5, 0) != case_seed(5, 1)
+        assert case_seed(5, 0) != case_seed(6, 0)
+
+    def test_default_configs_are_deterministic(self):
+        assert default_config(7, 3) == default_config(7, 3)
+        configs = {default_config(7, i) for i in range(20)}
+        assert len(configs) > 1
+
+    def test_single_case_reports_structure(self):
+        outcome = run_case(42, FuzzConfig(n_regions=2), restarts=1)
+        assert outcome["seed"] == 42
+        assert outcome["failures"] == []
+
+
+class TestShrinking:
+    def test_shrinks_to_minimal_failing_config(self):
+        # synthetic failure: anything with >= 2 regions "fails"
+        shrunk = shrink_config(lambda c: c.n_regions >= 2,
+                               FuzzConfig(n_regions=5, loop_depth=2,
+                                          base_values=10, mem_density=0.5))
+        assert shrunk.n_regions == 2
+        assert shrunk.loop_depth == 0
+        assert shrunk.mem_density == 0.0
+
+    def test_shrink_keeps_failure_failing(self):
+        pred = lambda c: c.base_values >= 4 and c.loop_depth >= 1
+        shrunk = shrink_config(pred, FuzzConfig(base_values=12, loop_depth=2))
+        assert pred(shrunk)
+        assert shrunk.base_values == 4
+        assert shrunk.loop_depth == 1
+
+    def test_repro_command_names_seed_and_knobs(self):
+        cmd = repro_command(77, FuzzConfig(n_regions=2, mem_density=0.4))
+        assert "fuzz repro" in cmd
+        assert "--seed 77" in cmd
+        assert "--regions 2" in cmd
+        assert "--mem 0.4" in cmd
+
+
+class TestCli:
+    def test_fuzz_run_clean_exit(self, capsys):
+        assert main(["fuzz", "run", "--cases", "4", "--seed", "2",
+                     "--restarts", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "4 case(s), 0 with discrepancies" in out
+
+    def test_fuzz_run_parallel_matches_serial_output(self, capsys):
+        main(["fuzz", "run", "--cases", "4", "--seed", "2",
+              "--restarts", "1"])
+        serial = capsys.readouterr().out
+        main(["fuzz", "run", "--cases", "4", "--seed", "2",
+              "--restarts", "1", "--jobs", "2"])
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_fuzz_repro_round_trip(self, capsys):
+        assert main(["fuzz", "repro", "--seed", "77", "--regions", "2",
+                     "--restarts", "1"]) == 0
+        assert "all oracles agree" in capsys.readouterr().out
+
+    def test_fuzz_gen_prints_program(self, capsys):
+        assert main(["fuzz", "gen", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("func ")
+
+    def test_fuzz_run_rejects_unknown_setup(self):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "run", "--cases", "1", "--setups", "nonesuch"])
+
+    def test_fuzz_gen_rejects_bad_knob(self):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "gen", "--seed", "1", "--regions", "0"])

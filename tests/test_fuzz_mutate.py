@@ -1,0 +1,100 @@
+"""Mutation-testing gate for the symbolic checker.
+
+A checker is only as good as what it provably catches, so it is judged
+against machine-generated corruptions of *real* allocator output.  A
+mutation only counts ("armed") when the interpreter proves it is a real
+miscompile — divergence, fault, or step overrun on the probe inputs —
+which keeps the gate honest: the checker is never graded against its own
+opinion of what matters.
+
+The acceptance bar from the issue: at least five corruption classes,
+each with at least one armed mutant, and 100% of armed mutants caught.
+"""
+
+import pytest
+
+from repro.fuzz import (
+    MUTATION_KINDS,
+    FuzzConfig,
+    enumerate_mutations,
+    generate_fuzz_function,
+    generate_pressure_function,
+    is_miscompile,
+    run_mutation_gate,
+)
+from repro.regalloc.pipeline import run_setup
+
+# corpus chosen to exercise every mutation site class: spills (pressure ×
+# ospill), encoding/setlr (every encoded setup), swaps and slot traffic
+_CORPUS = [
+    ("pressure", "ospill"),
+    ("pressure", "baseline"),
+    ("fuzz11", "remapping"),
+    ("fuzz11", "coalesce"),
+    ("fuzz11", "select"),
+]
+
+_FUZZ11 = FuzzConfig(base_values=10, loop_depth=2, fresh_bias=0.5)
+
+
+def _build(name):
+    if name == "pressure":
+        return generate_pressure_function(nvals=12, seed=3)
+    return generate_fuzz_function(11, _FUZZ11)
+
+
+@pytest.fixture(scope="module")
+def gate_results():
+    results = []
+    for name, setup in _CORPUS:
+        fn = _build(name)
+        prog = run_setup(fn, setup, remap_restarts=1, remap_seed=7)
+        results.append((name, setup,
+                        run_mutation_gate(fn, prog, base_seed=0)))
+    return results
+
+
+class TestMutationGate:
+    def test_every_kind_armed_somewhere(self, gate_results):
+        armed = {k: 0 for k in MUTATION_KINDS}
+        for _, _, gate in gate_results:
+            for kind, n in gate.armed.items():
+                armed[kind] += n
+        assert len(MUTATION_KINDS) >= 5
+        missing = [k for k, n in armed.items() if n == 0]
+        assert not missing, f"kinds never armed: {missing}"
+
+    def test_all_armed_mutants_caught(self, gate_results):
+        for name, setup, gate in gate_results:
+            assert gate.missed == [], (
+                f"{name}/{setup}: checker missed armed mutants: "
+                f"{[(m.kind, m.detail) for m in gate.missed]}")
+
+    def test_detection_rate_is_total(self, gate_results):
+        total = sum(g.n_armed for _, _, g in gate_results)
+        assert total >= len(MUTATION_KINDS)  # gate actually exercised
+        for _, _, gate in gate_results:
+            if gate.n_armed:
+                assert gate.detection_rate == 1.0
+
+
+class TestArming:
+    def test_faithful_copy_is_not_a_miscompile(self):
+        fn = generate_fuzz_function(2)
+        assert not is_miscompile(fn, fn.copy())
+
+    def test_enumeration_is_deterministic(self):
+        fn = _build("pressure")
+        prog = run_setup(fn, "ospill", remap_seed=7)
+        a = enumerate_mutations(prog, base_seed=4)
+        b = enumerate_mutations(prog, base_seed=4)
+        assert [(m.kind, m.detail) for m in a] \
+            == [(m.kind, m.detail) for m in b]
+
+    def test_enumeration_varies_with_seed(self):
+        fn = _build("pressure")
+        prog = run_setup(fn, "ospill", remap_seed=7)
+        a = enumerate_mutations(prog, base_seed=4)
+        b = enumerate_mutations(prog, base_seed=5)
+        assert [(m.kind, m.detail) for m in a] \
+            != [(m.kind, m.detail) for m in b]

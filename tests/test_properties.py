@@ -13,6 +13,7 @@ The big ones:
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
+from tests.conftest import fuzz_programs, synth_programs
 from repro.analysis import build_interference
 from repro.encoding import (
     EncodingConfig,
@@ -21,6 +22,7 @@ from repro.encoding import (
     encode_sequence,
     verify_encoding,
 )
+from repro.fuzz import check_allocation_semantics
 from repro.ir import Interpreter, Reg
 from repro.regalloc import (
     chaitin_allocate,
@@ -29,7 +31,6 @@ from repro.regalloc import (
     optimal_spill_allocate,
 )
 from repro.regalloc.diff_select import DifferentialSelector
-from repro.workloads import generate_function
 
 COMMON = dict(
     deadline=None,
@@ -51,16 +52,6 @@ class TestDifferentialArithmetic:
         diffs = encode_sequence(regs, reg_n, initial)
         assert all(0 <= d < reg_n for d in diffs)
         assert decode_sequence(diffs, reg_n, initial) == regs
-
-
-def synth_programs():
-    return st.builds(
-        generate_function,
-        seed=st.integers(min_value=0, max_value=10_000),
-        n_regions=st.integers(min_value=1, max_value=5),
-        base_values=st.integers(min_value=3, max_value=12),
-        with_memory=st.booleans(),
-    )
 
 
 class TestAllocatorSemantics:
@@ -154,6 +145,19 @@ class TestEncodingSoundness:
         packed = pack_function(enc)
         assert format_function(unpack_function(packed)) \
             == format_function(allocated)
+
+    @given(fn=fuzz_programs(calls=True),
+           k=st.integers(min_value=6, max_value=16),
+           arg=st.integers(min_value=0, max_value=4))
+    @settings(max_examples=25, **COMMON)
+    def test_fuzz_programs_allocate_and_check(self, fn, k, arg):
+        """The fuzz generator's full knob space (calls included) is legal
+        allocator input, and every allocation passes the symbolic
+        checker as well as the interpreter."""
+        ref = Interpreter().run(fn, (arg,)).return_value
+        res = iterated_allocate(fn, k)
+        assert Interpreter().run(res.fn, (arg,)).return_value == ref
+        assert check_allocation_semantics(fn, res.fn).ok
 
     @given(fn=synth_programs())
     @settings(max_examples=15, **COMMON)

@@ -6,44 +6,16 @@ limit; kernel allocation must always respect the register budget or flag
 itself as derated.
 """
 
-import random
-
 from hypothesis import HealthCheck, given, settings, strategies as st
 
+from tests.conftest import loop_ddgs
 from repro.machine.spec import VLIWConfig
-from repro.swp import Dep, LoopDDG, LoopOp, allocate_kernel, modulo_schedule
+from repro.swp import allocate_kernel, modulo_schedule
 
 COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
 
-_KINDS = [("alu", 1), ("alu", 1), ("mul", 3), ("mem_load", 2),
-          ("mem_store", 2)]
-
-
-@st.composite
-def ddgs(draw):
-    """Random well-formed loop DDGs."""
-    rng = random.Random(draw(st.integers(0, 10_000)))
-    n = draw(st.integers(min_value=2, max_value=28))
-    ops = []
-    deps = []
-    for i in range(n):
-        kind, lat = rng.choice(_KINDS)
-        ops.append(LoopOp(i, kind, lat))
-        if i and rng.random() < 0.8:
-            src = rng.randrange(i)
-            if ops[src].produces_value:
-                deps.append(Dep(src, i, 0, is_data=True))
-    # a bounded recurrence
-    if n >= 4 and rng.random() < 0.5:
-        late = rng.randrange(n // 2, n)
-        early = rng.randrange(n // 2)
-        if ops[late].produces_value and late != early:
-            deps.append(Dep(late, early, distance=rng.randint(1, 2),
-                            is_data=True))
-    trip = rng.randrange(4, 50)
-    return LoopDDG(ops, sorted(set(deps),
-                               key=lambda d: (d.src, d.dst, d.distance)),
-                   trip_count=trip)
+# random well-formed loop DDGs, shared with the fuzz layer
+ddgs = loop_ddgs
 
 
 def machine_configs():
