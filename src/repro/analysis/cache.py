@@ -33,6 +33,7 @@ from repro.ir.function import Function
 __all__ = [
     "fingerprint_function",
     "fingerprint_cfg",
+    "fingerprint_digest",
     "memoize_analysis",
     "clear_analysis_cache",
     "analysis_cache_stats",
@@ -69,6 +70,38 @@ def fingerprint_function(fn: Function) -> Tuple:
             for b in fn.blocks
         ),
     )
+
+
+def fingerprint_digest(fn: Function) -> str:
+    """Hex content digest of a function for durable, cross-process caches.
+
+    Unlike :func:`fingerprint_function` this *excludes* instruction
+    ``uid``\\ s: uids are process-local allocation order, so two builds of
+    the same workload (or two parses of the same text) would never share
+    a digest, defeating a store that outlives the process.  Everything an
+    allocation result can depend on — names, params, block layout,
+    opcodes, registers, immediates, labels, call effects — is digested
+    via ``repr``, never a salted ``hash()``, so the digest is stable
+    across processes and Python versions.
+    """
+    import hashlib
+
+    canon = (
+        fn.name,
+        fn.params,
+        tuple(
+            (
+                b.name,
+                tuple(
+                    (i.op, i.dst, i.srcs, i.imm, i.label,
+                     i.call_uses, i.call_defs)
+                    for i in b.instrs
+                ),
+            )
+            for b in fn.blocks
+        ),
+    )
+    return hashlib.sha256(repr(canon).encode()).hexdigest()
 
 
 def fingerprint_cfg(fn: Function) -> Tuple:

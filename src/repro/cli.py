@@ -204,7 +204,7 @@ def _cmd_disasm(args) -> int:
 
 
 def _cmd_report(args) -> int:
-    from repro.experiments.report import generate_report
+    from repro.experiments.reporting import generate_report
 
     jobs = _resolve_cli_jobs(args)
     if jobs is None:
@@ -424,6 +424,111 @@ def _cmd_fuzz_gen(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service.server import ServiceServer
+    from repro.service.store import ArtifactStore, default_store_root
+
+    jobs = _resolve_cli_jobs(args)
+    if jobs is None:
+        return 2
+    store = ArtifactStore(args.store or default_store_root(),
+                          max_bytes=args.cache_bytes)
+    server = ServiceServer(
+        args.host, args.port, store=store, jobs=jobs,
+        queue_limit=args.queue_limit, max_batch=args.max_batch,
+        linger=args.linger, request_timeout=args.timeout,
+        allow_debug=args.allow_debug, telemetry_path=args.telemetry,
+        verbose=args.verbose,
+    )
+
+    def announce(host: str, port: int) -> None:
+        print(f"repro service listening on {host}:{port} "
+              f"(jobs={jobs}, store={store.root})", flush=True)
+        if args.ready_file:
+            with open(args.ready_file, "w") as fh:
+                fh.write(f"{host}:{port}\n")
+
+    server.serve_forever(ready_callback=announce)
+    print("repro service drained and stopped", flush=True)
+    return 0
+
+
+def _cmd_request(args) -> int:
+    import json
+    import os
+
+    from repro.service.client import ServiceClient, ServiceError
+    from repro.service.protocol import build_compile_request
+
+    if os.path.exists(args.target):
+        with open(args.target) as fh:
+            request = build_compile_request(
+                text=fh.read(), setup=args.setup, **_request_options(args))
+    else:
+        request = build_compile_request(
+            workload=args.target, setup=args.setup,
+            **_request_options(args))
+
+    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    reply = client.compile_request(request)
+    if args.json:
+        print(reply.body.decode("ascii"))
+        return 0 if reply.ok else 1
+    try:
+        result = reply.result()
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        envelope = exc.envelope.get("error") or {}
+        for diag in envelope.get("diagnostics", ()):
+            print(f"  {diag.get('rule')}/{diag.get('name')}: "
+                  f"{diag.get('message')}", file=sys.stderr)
+        return 1
+    alloc = result["allocation"]
+    print(f"{result['name']} via {result['setup']} "
+          f"[cache {reply.cache or 'n/a'}]")
+    print(f"  instructions {alloc['instructions']}  "
+          f"spills {alloc['spills']}  setlr {alloc['setlr']}")
+    if result.get("cycles"):
+        cyc = result["cycles"]
+        print(f"  cycles {cyc['cycles']}  cpi {cyc['cpi']:.2f}  "
+              f"energy {cyc['energy']:.1f}  "
+              f"checksum {result['checksum']}")
+    return 0
+
+
+def _request_options(args) -> dict:
+    options = dict(base_k=args.base_k, reg_n=args.reg_n,
+                   diff_n=args.diff_n, access_order=args.access_order,
+                   restarts=args.restarts, seed=args.seed)
+    out = dict(options, simulate=not args.no_simulate)
+    if args.args is not None:
+        out["args"] = [int(a) for a in args.args.split(",") if a.strip()]
+    if args.profile:
+        out["profile"] = True
+    return out
+
+
+def _cmd_cache(args) -> int:
+    from repro.service.store import ArtifactStore, default_store_root
+
+    store = ArtifactStore(args.store or default_store_root())
+    if args.cache_command == "stats":
+        stats = store.stats()
+        print(f"store {stats['root']}: {stats['entries']} artifact(s), "
+              f"{stats['bytes']} / {stats['max_bytes']} bytes")
+        return 0
+    removed = store.clear()
+    print(f"store {store.root}: removed {removed} artifact(s)")
+    return 0
+
+
+def _cmd_service_smoke(args) -> int:
+    from repro.service.smoke import run_smoke
+
+    return run_smoke(out_path=args.out, cases=args.cases, jobs=args.jobs,
+                     request_timeout=args.timeout)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -584,6 +689,94 @@ def build_parser() -> argparse.ArgumentParser:
     fp.add_argument("--seed", type=int, required=True)
     _add_fuzz_knobs(fp)
     fp.set_defaults(func=_cmd_fuzz_gen)
+
+    p = sub.add_parser("serve",
+                       help="run the allocation service: a batching "
+                            "compile daemon with a content-addressed "
+                            "artifact store (see docs/service.md)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8421,
+                   help="TCP port (0 = pick a free one)")
+    p.add_argument("--store", default="",
+                   help="artifact store directory (default: "
+                        "$REPRO_SERVICE_STORE or ~/.cache/repro/service)")
+    p.add_argument("--cache-bytes", type=int, default=64 * 1024 * 1024,
+                   help="artifact store size cap; LRU-evicted beyond it")
+    p.add_argument("--queue-limit", type=int, default=64,
+                   help="bounded compile queue; beyond it requests get "
+                        "429 + Retry-After")
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="most requests per micro-batch fan-out")
+    p.add_argument("--linger", type=float, default=0.02,
+                   help="seconds to wait for co-batchable requests")
+    p.add_argument("--timeout", type=float, default=60.0,
+                   help="per-request compile deadline (expired waits "
+                        "answer 504; the artifact is still cached)")
+    p.add_argument("--telemetry", default="",
+                   help="write a metrics snapshot here on shutdown")
+    p.add_argument("--ready-file", default="",
+                   help="write host:port here once listening (smoke/CI)")
+    p.add_argument("--allow-debug", action="store_true",
+                   help="honor debug_sleep in requests (testing only)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every HTTP request to stderr")
+    _add_parallel_args(p, with_seed=False)
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("request",
+                       help="send one compile request to a running "
+                            "`repro serve` instance")
+    p.add_argument("target", help="workload name or .s file path")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8421)
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="client-side HTTP timeout")
+    p.add_argument("--setup", default="remapping",
+                   choices=("baseline", "remapping", "select", "ospill",
+                            "coalesce"))
+    p.add_argument("--base-k", type=int, default=8)
+    p.add_argument("--reg-n", type=int, default=12)
+    p.add_argument("--diff-n", type=int, default=8)
+    p.add_argument("--access-order", default="src_first",
+                   choices=("src_first", "dst_first", "two_address"))
+    p.add_argument("--restarts", type=int, default=50)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--args", default=None,
+                   help="comma-separated run arguments (default: the "
+                        "workload's own)")
+    p.add_argument("--no-simulate", action="store_true",
+                   help="skip interpretation and cycle accounting")
+    p.add_argument("--profile", action="store_true",
+                   help="use interpreter profiles instead of static "
+                        "frequency estimates")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw response body")
+    p.set_defaults(func=_cmd_request)
+
+    p = sub.add_parser("cache",
+                       help="inspect or clear the service artifact store")
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    for name, help_text in [("stats", "entry count and byte totals"),
+                            ("clear", "delete every artifact")]:
+        cp = cache_sub.add_parser(name, help=help_text)
+        cp.add_argument("--store", default="",
+                        help="store directory (default: "
+                             "$REPRO_SERVICE_STORE or "
+                             "~/.cache/repro/service)")
+        cp.set_defaults(func=_cmd_cache)
+
+    p = sub.add_parser("service-smoke",
+                       help="end-to-end service check: boot a daemon, "
+                            "drive mixed traffic twice, verify hit-rate "
+                            "and SIGTERM drain (the CI job)")
+    p.add_argument("--out", default="TELEMETRY_service.json",
+                   help="telemetry snapshot path (CI artifact)")
+    p.add_argument("--cases", type=int, default=50)
+    p.add_argument("--jobs", type=int, default=2)
+    p.add_argument("--timeout", type=float, default=5.0,
+                   help="server request deadline (the forced-timeout "
+                        "case sleeps past it)")
+    p.set_defaults(func=_cmd_service_smoke)
 
     p = sub.add_parser("bench-sim",
                        help="time the columnar interpreter/trace-reuse/"

@@ -3,10 +3,11 @@
 * :mod:`repro.experiments.lowend` — Figures 11-14 and Table 1 (the MiBench
   low-end study).
 * :mod:`repro.experiments.swp` — Tables 2-3 (the software-pipelining study).
-* :mod:`repro.experiments.reporting` — shared table formatting.
+* :mod:`repro.experiments.reporting` — shared table formatting and the
+  one-command combined report (``python -m repro report``).
 """
 
-from repro.experiments.reporting import Table, geo_mean
+from repro.experiments.reporting import Table, generate_report, geo_mean
 from repro.experiments.lowend import LowEndExperiment, run_lowend_experiment
 from repro.experiments.swp import SwpExperiment, run_swp_experiment
 from repro.experiments.alternatives import (
@@ -14,7 +15,6 @@ from repro.experiments.alternatives import (
     run_alternatives_study,
 )
 from repro.experiments.sweep import RegNSweep, run_regn_sweep
-from repro.experiments.report import generate_report
 
 __all__ = [
     "AlternativesStudy",

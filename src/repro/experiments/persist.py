@@ -5,6 +5,11 @@ low-end study takes seconds and the full 1928-loop population minutes.
 Persisting results lets CI track regressions ("did the Figure 11 ordering
 survive this change?") without re-running, and lets notebooks consume the
 numbers directly.
+
+Envelope validation (the ``kind``/``format`` fields) goes through
+:func:`repro.diagnostics.check_format_version` — the same helper the
+service protocol uses — so a file written by a newer schema fails with a
+structured diagnostic, never a ``KeyError``.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ import json
 from dataclasses import asdict
 from typing import Dict, List
 
+from repro.diagnostics import check_format_version
 from repro.experiments.lowend import BenchmarkRow, LowEndExperiment
 from repro.experiments.swp import LoopResult, SwpExperiment
 from repro.machine.spec import LowEndConfig
@@ -25,6 +31,7 @@ __all__ = [
 ]
 
 _FORMAT_VERSION = 1
+_SUPPORTED_FORMATS = (1,)
 
 
 def lowend_to_json(exp: LowEndExperiment) -> str:
@@ -42,10 +49,7 @@ def lowend_to_json(exp: LowEndExperiment) -> str:
 def lowend_from_json(text: str) -> LowEndExperiment:
     """Inverse of :func:`lowend_to_json`."""
     data = json.loads(text)
-    if data.get("kind") != "lowend":
-        raise ValueError(f"not a low-end result file: {data.get('kind')!r}")
-    if data.get("format") != _FORMAT_VERSION:
-        raise ValueError(f"unsupported format version {data.get('format')}")
+    check_format_version(data, kind="lowend", supported=_SUPPORTED_FORMATS)
     rows = [BenchmarkRow(**r) for r in data["rows"]]
     return LowEndExperiment(rows, data["base_k"], data["reg_n"],
                             data["diff_n"], LowEndConfig())
@@ -71,10 +75,7 @@ def swp_to_json(exp: SwpExperiment) -> str:
 def swp_from_json(text: str) -> SwpExperiment:
     """Inverse of :func:`swp_to_json`."""
     data = json.loads(text)
-    if data.get("kind") != "swp":
-        raise ValueError(f"not an SWP result file: {data.get('kind')!r}")
-    if data.get("format") != _FORMAT_VERSION:
-        raise ValueError(f"unsupported format version {data.get('format')}")
+    check_format_version(data, kind="swp", supported=_SUPPORTED_FORMATS)
     loops: List[LoopResult] = []
     for l in data["loops"]:
         loops.append(LoopResult(

@@ -23,7 +23,8 @@ import hashlib
 import os
 from typing import Callable, Iterable, List, Sequence, TypeVar
 
-__all__ = ["resolve_jobs", "derive_seed", "parallel_map", "chunked"]
+__all__ = ["resolve_jobs", "derive_seed", "parallel_map", "chunked",
+           "WorkerPool"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -98,3 +99,42 @@ def parallel_map(fn: Callable[[T], R], tasks: Iterable[T],
 
     with ProcessPoolExecutor(max_workers=min(jobs, len(task_list))) as pool:
         return list(pool.map(fn, task_list))
+
+
+class WorkerPool:
+    """A reusable :func:`parallel_map`: same ordered, deterministic
+    contract, but the process pool persists across ``map`` calls.
+
+    One-shot ``parallel_map`` pays pool startup per call, which is fine
+    for experiment grids but not for a long-lived server dispatching
+    micro-batches every few milliseconds.  ``jobs=1`` never creates a
+    pool at all, and the pool is created lazily on the first multi-task
+    ``map`` — so serial servers stay ``multiprocessing``-free.
+    """
+
+    def __init__(self, jobs: int = 1) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self._executor = None
+
+    def map(self, fn: Callable[[T], R], tasks: Iterable[T]) -> List[R]:
+        """Map ``fn`` over ``tasks`` in order, reusing the pool."""
+        task_list = list(tasks)
+        if self.jobs == 1 or len(task_list) <= 1:
+            return [fn(t) for t in task_list]
+        if self._executor is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+        return list(self._executor.map(fn, task_list))
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent; the pool is not reusable)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

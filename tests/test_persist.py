@@ -39,8 +39,30 @@ class TestLowEndPersistence:
             lowend.fig14_speedup().render()
 
     def test_wrong_kind_rejected(self, lowend, swp):
-        with pytest.raises(ValueError, match="not a low-end"):
+        with pytest.raises(ValueError, match="not a 'lowend' document"):
             lowend_from_json(swp_to_json(swp))
+
+    def test_unknown_version_is_diagnostic_not_keyerror(self, lowend):
+        import json
+
+        from repro.diagnostics import FormatError
+
+        data = json.loads(lowend_to_json(lowend))
+        data["format"] = 999
+        data.pop("rows")  # a future schema may not even have this key
+        with pytest.raises(FormatError) as excinfo:
+            lowend_from_json(json.dumps(data))
+        diags = excinfo.value.diagnostics
+        assert diags and diags[0].rule == "F003"
+        assert "999" in str(excinfo.value)
+
+    def test_missing_format_field_rejected(self, lowend):
+        import json
+
+        data = json.loads(lowend_to_json(lowend))
+        del data["format"]
+        with pytest.raises(ValueError, match="unsupported format"):
+            lowend_from_json(json.dumps(data))
 
 
 class TestSwpPersistence:
@@ -57,7 +79,7 @@ class TestSwpPersistence:
             assert all(isinstance(k, int) for k in loop.cycles)
 
     def test_wrong_kind_rejected(self, swp, lowend):
-        with pytest.raises(ValueError, match="not an SWP"):
+        with pytest.raises(ValueError, match="not a 'swp' document"):
             swp_from_json(lowend_to_json(lowend))
 
     def test_version_checked(self, swp):

@@ -38,14 +38,25 @@ class TestReport:
                             include_alternatives=False)
         assert normalize(a) == normalize(b)
 
+    def test_report_module_is_a_deprecated_alias(self):
+        import importlib
+
+        import repro.experiments.report as report_mod
+        import repro.experiments.reporting as reporting_mod
+
+        with pytest.warns(DeprecationWarning, match="reporting"):
+            report_mod = importlib.reload(report_mod)
+        assert report_mod.generate_report is reporting_mod.generate_report
+        assert report_mod.Table is reporting_mod.Table
+
     def test_cli_report_to_file(self, tmp_path, capsys, monkeypatch):
         from repro.cli import main
-        import repro.experiments.report as report_mod
+        import repro.experiments.reporting as reporting_mod
 
         def tiny_report(**kw):
             return "tiny"
 
-        monkeypatch.setattr(report_mod, "generate_report", tiny_report)
+        monkeypatch.setattr(reporting_mod, "generate_report", tiny_report)
         # the CLI imports the symbol lazily from the module, so the patch
         # takes effect
         out = tmp_path / "results.md"

@@ -1,0 +1,234 @@
+"""End-to-end daemon tests over real HTTP on an ephemeral port."""
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.protocol import build_compile_request, encode_message
+from repro.service.server import ServiceServer
+from repro.service.store import ArtifactStore
+
+# small and fast: a few restarts are plenty for protocol-level tests
+FAST = {"restarts": 2}
+
+
+@contextmanager
+def serving(tmp_path, **overrides):
+    store = ArtifactStore(str(tmp_path / "store"))
+    kwargs = dict(store=store, jobs=1, linger=0.01, allow_debug=True)
+    kwargs.update(overrides)
+    server = ServiceServer("127.0.0.1", 0, **kwargs)
+    thread = server.start_background()
+    try:
+        yield server, ServiceClient(server.host, server.port, timeout=30)
+    finally:
+        server.stop_background(thread)
+
+
+@pytest.fixture
+def served(tmp_path):
+    with serving(tmp_path) as (server, client):
+        yield server, client
+
+
+class TestEndpoints:
+    def test_healthz(self, served):
+        _server, client = served
+        assert client.health() == {"v": 1, "ok": True, "status": "serving"}
+
+    def test_statsz_counters_move(self, served):
+        _server, client = served
+        client.compile(workload="crc32", **FAST)
+        stats = client.stats()
+        assert stats["requests"] == 1
+        assert stats["store_misses"] == 1
+        assert stats["batches"] == 1
+        assert stats["batched_requests"] == 1
+        assert stats["store"]["entries"] == 1
+        assert stats["jobs"] == 1
+
+    def test_unknown_endpoint_404(self, served):
+        server, _client = served
+        client = ServiceClient(server.host, server.port)
+        reply = client._exchange("GET", "/nope")
+        assert reply.status == 404
+
+
+class TestErrors:
+    def test_malformed_json_400(self, served):
+        _server, client = served
+        reply = client.post_raw(b"{this is not json")
+        assert reply.status == 400
+        assert reply.envelope["error"]["code"] == "SVC01"
+
+    def test_bad_version_400(self, served):
+        _server, client = served
+        reply = client.compile_request({"v": 99,
+                                        "source": {"workload": "crc"}})
+        assert reply.status == 400
+        assert reply.envelope["error"]["code"] == "SVC02"
+
+    def test_unknown_workload_404(self, served):
+        _server, client = served
+        with pytest.raises(ServiceError) as excinfo:
+            client.compile(workload="no-such-benchmark")
+        assert excinfo.value.status == 404
+        assert excinfo.value.code == "SVC05"
+
+    def test_parse_error_carries_diagnostics(self, served):
+        _server, client = served
+        reply = client.compile_request(
+            build_compile_request(text="func broken(\n"))
+        assert reply.status == 400
+        assert reply.envelope["error"]["code"] == "SVC06"
+        assert reply.envelope["error"]["diagnostics"]
+
+    def test_handler_survives_errors(self, served):
+        """One bad request must not poison the next good one."""
+        _server, client = served
+        client.post_raw(b"\xff\xff")
+        client.compile_request({"v": 1, "source": {}, "oops": 1})
+        assert client.compile(workload="crc32", **FAST)["name"] == "crc32"
+
+
+class TestCaching:
+    def test_cold_miss_then_warm_hit_same_bytes(self, served):
+        _server, client = served
+        request = build_compile_request(workload="sha", **FAST)
+        cold = client.compile_request(request)
+        warm = client.compile_request(request)
+        assert (cold.cache, warm.cache) == ("miss", "hit")
+        assert cold.body == warm.body
+        assert cold.headers["x-repro-key"] == warm.headers["x-repro-key"]
+
+    def test_spelled_out_defaults_share_the_artifact(self, served):
+        """Normalisation keys by meaning, not by request spelling."""
+        _server, client = served
+        terse = build_compile_request(workload="crc32", **FAST)
+        spelled = dict(terse, op="compile", setup="remapping",
+                       simulate=True, machine={})
+        cold = client.compile_request(terse)
+        warm = client.compile_request(spelled)
+        assert warm.cache == "hit"
+        assert warm.body == cold.body
+
+    def test_error_responses_are_not_cached(self, served):
+        server, client = served
+        with pytest.raises(ServiceError):
+            client.compile(workload="missing-one")
+        with pytest.raises(ServiceError):
+            client.compile(workload="missing-one")
+        assert server.store.stats()["entries"] == 0
+
+
+class TestBackpressure:
+    def test_queue_full_answers_429_with_retry_after(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        server = ServiceServer("127.0.0.1", 0, store=store, jobs=1,
+                               queue_limit=1, request_timeout=0.05)
+        try:
+            # the batch dispatcher is deliberately not running: the first
+            # miss parks in the queue's only slot (and times out of its
+            # wait), so the second miss must bounce with backpressure
+            first = encode_message(build_compile_request(
+                workload="crc32", seed=1, **FAST))
+            status, _headers, _body = server.handle_compile(first)
+            assert status == 504
+            second = encode_message(build_compile_request(
+                workload="crc32", seed=2, **FAST))
+            status, headers, body = server.handle_compile(second)
+            assert status == 429
+            assert headers["Retry-After"] == "1"
+            envelope = json.loads(body)
+            assert envelope["error"]["code"] == "SVC10"
+            assert envelope["error"]["retry_after"] == 1
+            assert server.metrics.snapshot()["rejected"] == 1
+        finally:
+            server._httpd.server_close()
+            server.pool.close()
+
+    def test_timeout_504_then_retry_hits_the_artifact(self, tmp_path):
+        with serving(tmp_path, request_timeout=0.2) as (server, client):
+            slow = build_compile_request(workload="crc32", debug_sleep=0.8,
+                                         **FAST)
+            reply = client.compile_request(slow)
+            assert reply.status == 504
+            assert reply.envelope["error"]["code"] == "SVC09"
+            key = reply.headers["x-repro-key"]
+            # the abandoned compile still lands in the store...
+            deadline = time.monotonic() + 5
+            while server.store.get(key) is None and \
+                    time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert server.store.get(key) is not None
+            # ...so the retry (debug_sleep is not part of the key) hits
+            fast = build_compile_request(workload="crc32", **FAST)
+            retry = client.compile_request(fast)
+            assert retry.status == 200 and retry.cache == "hit"
+            assert server.metrics.snapshot()["timeouts"] == 1
+
+
+class TestDrain:
+    def test_drain_refuses_new_work_but_finishes_accepted(self, tmp_path):
+        with serving(tmp_path, request_timeout=30) as (server, client):
+            accepted = {}
+
+            def fire():
+                req = build_compile_request(workload="sha", debug_sleep=0.6,
+                                            **FAST)
+                accepted["reply"] = client.compile_request(req)
+
+            t = threading.Thread(target=fire)
+            t.start()
+            time.sleep(0.2)  # the compile is queued and sleeping
+            server.initiate_drain()
+            assert client.health()["status"] == "draining"
+            refused = client.compile_request(
+                build_compile_request(workload="crc32", **FAST))
+            assert refused.status == 503
+            assert refused.envelope["error"]["code"] == "SVC11"
+            assert refused.headers["retry-after"] == "5"
+            t.join(timeout=15)
+            # the in-flight compile still completed and flushed its bytes
+            assert accepted["reply"].status == 200
+            assert json.loads(accepted["reply"].body)["ok"] is True
+
+    def test_telemetry_snapshot_persists_on_shutdown(self, tmp_path):
+        out = tmp_path / "telemetry.json"
+        with serving(tmp_path, telemetry_path=str(out)) as (_s, client):
+            client.compile(workload="crc32", **FAST)
+            client.compile(workload="crc32", **FAST)
+        doc = json.loads(out.read_text())
+        assert doc["requests"] == 2
+        assert doc["store_hits"] == 1
+        assert doc["store"]["entries"] == 1
+
+
+class TestBatching:
+    def test_concurrent_requests_share_batches(self, tmp_path):
+        with serving(tmp_path, max_batch=8, linger=0.2,
+                     request_timeout=30) as (server, client):
+            seeds = list(range(201, 207))
+            replies = [None] * len(seeds)
+
+            def fire(i, seed):
+                req = build_compile_request(workload="crc32", seed=seed,
+                                            **FAST)
+                replies[i] = client.compile_request(req)
+
+            threads = [threading.Thread(target=fire, args=(i, s))
+                       for i, s in enumerate(seeds)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert all(r.status == 200 for r in replies)
+            snap = server.metrics.snapshot()
+            assert snap["batched_requests"] == len(seeds)
+            # the linger window must have co-scheduled at least once
+            assert snap["batches"] < len(seeds)
+            assert snap["max_batch"] >= 2
