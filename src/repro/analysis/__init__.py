@@ -5,6 +5,14 @@ interference graph for traditional register allocation, and the *adjacency
 graph* (paper Definition 2) that drives all three differential schemes.
 """
 
+from repro.analysis.dataflow import (
+    DataflowProblem,
+    DataflowResult,
+    reverse_postorder,
+    solve,
+    union_join,
+    intersection_join,
+)
 from repro.analysis.liveness import LivenessInfo, compute_liveness
 from repro.analysis.interference import InterferenceGraph, build_interference
 from repro.analysis.dominators import compute_dominators, immediate_dominators
@@ -26,6 +34,12 @@ from repro.analysis.cache import (
 from repro.analysis.webs import split_webs
 
 __all__ = [
+    "DataflowProblem",
+    "DataflowResult",
+    "reverse_postorder",
+    "solve",
+    "union_join",
+    "intersection_join",
     "profile_block_frequencies",
     "block_frequencies_from_counts",
     "PressureRegion",

@@ -1,0 +1,216 @@
+"""Generic iterative dataflow framework (worklist solver).
+
+Every dataflow computation in the repo — liveness, the spill-slot
+initialization checks, the static decode-stage verifier's ``last_reg``
+abstraction — is an instance of the same schema: per-block facts from a
+join-semilattice, a per-block transfer function, propagation along CFG
+edges (forward or backward) to a fixed point.  This module factors that
+schema out once so clients only supply the lattice and the transfer.
+
+A :class:`DataflowProblem` packages the schema:
+
+* ``direction`` — ``"forward"`` (facts flow entry → exit along edges) or
+  ``"backward"`` (exit → entry against edges);
+* ``boundary`` — the fact at the CFG boundary: the entry block's input
+  for forward problems, every exit block's output for backward ones;
+* ``init`` — the optimistic initial fact (the lattice bottom) given to
+  every interior block before iteration;
+* ``join(a, b)`` — the lattice join, combining facts that reach a block
+  along different edges (must be commutative, associative, idempotent);
+* ``transfer(block, fact)`` — the block's effect: input fact in, output
+  fact out.  Must be monotone in ``fact`` or iteration may not converge.
+
+:func:`solve` runs the worklist to a fixed point and returns per-block
+input/output facts.  Blocks are processed in reverse postorder for
+forward problems and postorder for backward ones — the order the
+dominator tree induces on reducible CFGs — so loop nests (see
+:mod:`repro.analysis.loops`) converge in loop-depth + 2 sweeps instead
+of rediscovering the same facts block by block.  Unreachable blocks keep
+their ``init`` fact: no edge ever delivers information to them, which
+clients treat as "no claim" (the conventional unreachable-⊥).
+
+The first in-tree client is :func:`repro.analysis.liveness.
+compute_liveness` (backward, set union, use/def transfer); the decode
+abstract interpreter (:mod:`repro.encoding.static_verifier`) layers a
+``last_reg`` lattice on the same solver.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generic, List, Tuple, TypeVar
+
+from repro.ir.function import BasicBlock, Function
+
+__all__ = [
+    "DataflowProblem",
+    "DataflowResult",
+    "reverse_postorder",
+    "solve",
+    "union_join",
+    "intersection_join",
+]
+
+T = TypeVar("T")
+
+
+def _structural_equal(a: T, b: T) -> bool:
+    """Default convergence test: structural ``==`` on the facts."""
+    return a == b
+
+
+@dataclass(frozen=True)
+class DataflowProblem(Generic[T]):
+    """One dataflow analysis: lattice + transfer + direction.
+
+    Attributes:
+        direction: ``"forward"`` or ``"backward"``.
+        boundary: fact entering the CFG (forward: the entry block's
+            input; backward: every exit/fall-off block's output).
+        init: optimistic initial fact for interior block inputs — the
+            lattice bottom.  Also the final fact of unreachable blocks.
+        join: lattice join for facts meeting at a block.
+        transfer: per-block transfer function ``(block, fact) -> fact``.
+        equal: fact equality used for the convergence test; defaults to
+            ``==``, override for facts whose ``==`` is not semantic.
+    """
+
+    direction: str
+    boundary: T
+    init: T
+    join: Callable[[T, T], T]
+    transfer: Callable[[BasicBlock, T], T]
+    equal: Callable[[T, T], bool] = field(default=_structural_equal)
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("forward", "backward"):
+            raise ValueError(
+                f"unknown dataflow direction {self.direction!r}; "
+                "expected 'forward' or 'backward'")
+
+
+@dataclass
+class DataflowResult(Generic[T]):
+    """Fixed-point facts of one :func:`solve` run.
+
+    ``in_facts``/``out_facts`` are always oriented in *execution* order:
+    ``in_facts[b]`` is the fact at block entry and ``out_facts[b]`` the
+    fact at block exit, for both directions.
+    """
+
+    in_facts: Dict[str, T]
+    out_facts: Dict[str, T]
+    iterations: int  # transfer-function applications until the fixpoint
+
+
+def union_join(a: frozenset, b: frozenset) -> frozenset:
+    """May-analysis join: set union."""
+    return a | b
+
+
+def intersection_join(a: frozenset, b: frozenset) -> frozenset:
+    """Must-analysis join: set intersection."""
+    return a & b
+
+
+def reverse_postorder(fn: Function) -> List[str]:
+    """Block names in reverse postorder of a DFS from the entry.
+
+    Every block appears before its (non-back-edge) successors — the
+    iteration order under which forward problems on reducible CFGs
+    stabilise fastest.  Unreachable blocks are appended afterwards in
+    layout order so every block has a position.
+    """
+    if not fn.blocks:
+        return []
+    succs, _ = fn.cfg()
+    seen = set()
+    post: List[str] = []
+    # iterative DFS with an explicit successor cursor (no recursion limit)
+    stack: List[Tuple[str, int]] = [(fn.entry.name, 0)]
+    seen.add(fn.entry.name)
+    while stack:
+        name, i = stack[-1]
+        if i < len(succs[name]):
+            stack[-1] = (name, i + 1)
+            s = succs[name][i]
+            if s not in seen:
+                seen.add(s)
+                stack.append((s, 0))
+        else:
+            stack.pop()
+            post.append(name)
+    order = list(reversed(post))
+    order.extend(b.name for b in fn.blocks if b.name not in seen)
+    return order
+
+
+def solve(fn: Function, problem: DataflowProblem[T]) -> DataflowResult[T]:
+    """Run ``problem`` over ``fn``'s CFG to a fixed point.
+
+    The worklist is a priority queue keyed by the block's position in
+    reverse postorder (forward) or postorder (backward), so facts reach
+    a fixpoint in near-topological sweeps even when the initial worklist
+    seeds everything at once.
+    """
+    forward = problem.direction == "forward"
+    succs, preds = fn.cfg()
+    rpo = reverse_postorder(fn)
+    priority = {name: i for i, name in enumerate(rpo)}
+    if not forward:
+        priority = {name: len(rpo) - 1 - i for name, i in priority.items()}
+
+    # edges facts flow along, oriented as (source fact holder -> target)
+    flow_in = preds if forward else succs    # blocks a target reads from
+    flow_out = succs if forward else preds   # blocks to requeue on change
+
+    entry = fn.entry.name if fn.blocks else None
+
+    def is_boundary(name: str) -> bool:
+        if forward:
+            return name == entry
+        return not succs[name]  # exit blocks: no successors
+
+    # read_facts[b]: fact at the reading edge of b (entry for forward,
+    # exit for backward); written_facts[b]: the transferred result
+    read_facts: Dict[str, T] = {}
+    written_facts: Dict[str, T] = {}
+    for b in fn.blocks:
+        read_facts[b.name] = problem.boundary if is_boundary(b.name) \
+            else problem.init
+        written_facts[b.name] = problem.init
+
+    heap: List[Tuple[int, str]] = []
+    queued = set()
+    for name in rpo:
+        heapq.heappush(heap, (priority[name], name))
+        queued.add(name)
+
+    iterations = 0
+    while heap:
+        _, name = heapq.heappop(heap)
+        queued.discard(name)
+        incoming = read_facts[name]
+        sources = flow_in[name]
+        if sources:
+            fact = problem.boundary if is_boundary(name) else problem.init
+            for s in sources:
+                fact = problem.join(fact, written_facts[s])
+            incoming = fact
+        read_facts[name] = incoming
+        new_out = problem.transfer(fn.block(name), incoming)
+        iterations += 1
+        if not problem.equal(new_out, written_facts[name]):
+            written_facts[name] = new_out
+            for t in flow_out[name]:
+                if t not in queued:
+                    queued.add(t)
+                    heapq.heappush(heap, (priority[t], t))
+
+    if forward:
+        in_facts, out_facts = read_facts, written_facts
+    else:
+        in_facts, out_facts = written_facts, read_facts
+    return DataflowResult(in_facts=in_facts, out_facts=out_facts,
+                          iterations=iterations)

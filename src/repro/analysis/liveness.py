@@ -2,6 +2,10 @@
 
 Produces block-level ``live_in``/``live_out`` sets and, on demand,
 per-instruction live-out sets keyed by instruction ``uid``.
+
+The fixed-point iteration is an instance of the generic worklist
+framework (:mod:`repro.analysis.dataflow`): a backward may-analysis with
+set-union join and the textbook ``use ∪ (out − def)`` transfer.
 """
 
 from __future__ import annotations
@@ -9,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Set
 
+from repro.analysis.dataflow import DataflowProblem, solve, union_join
 from repro.ir.function import Function
 from repro.ir.instr import Reg
 
@@ -63,29 +68,21 @@ def compute_liveness(fn: Function) -> LivenessInfo:
 
 
 def _compute_liveness(fn: Function) -> LivenessInfo:
-    succs, _ = fn.cfg()
     use: Dict[str, FrozenSet[Reg]] = {}
     defs: Dict[str, FrozenSet[Reg]] = {}
     for b in fn.blocks:
         use[b.name], defs[b.name] = _block_use_def(b)
 
-    live_in: Dict[str, FrozenSet[Reg]] = {b.name: frozenset() for b in fn.blocks}
-    live_out: Dict[str, FrozenSet[Reg]] = {b.name: frozenset() for b in fn.blocks}
-
-    changed = True
-    order = [b.name for b in reversed(fn.blocks)]  # reverse layout ≈ postorder
-    while changed:
-        changed = False
-        for name in order:
-            out: Set[Reg] = set()
-            for s in succs[name]:
-                out.update(live_in[s])
-            new_out = frozenset(out)
-            new_in = frozenset(use[name] | (new_out - defs[name]))
-            if new_out != live_out[name] or new_in != live_in[name]:
-                live_out[name] = new_out
-                live_in[name] = new_in
-                changed = True
+    problem: DataflowProblem[FrozenSet[Reg]] = DataflowProblem(
+        direction="backward",
+        boundary=frozenset(),
+        init=frozenset(),
+        join=union_join,
+        transfer=lambda block, out: use[block.name] | (out - defs[block.name]),
+    )
+    result = solve(fn, problem)
+    live_in = result.in_facts
+    live_out = result.out_facts
 
     instr_live_out: Dict[int, FrozenSet[Reg]] = {}
     instr_live_in: Dict[int, FrozenSet[Reg]] = {}

@@ -261,22 +261,155 @@ def _cmd_lint(args) -> int:
                       file=sys.stderr)
                 return 2
 
+    # exit-code contract (documented in docs/lint_rules.md): 1 only on
+    # error-severity findings — warnings alone pass, unless --strict
+    # escalates them or --max-warnings bounds their total; 2 on bad usage
     threshold = Severity.WARNING if args.strict else Severity.ERROR
+    as_json = args.json or args.format == "json"
     failed = False
+    n_warnings = 0
     json_out = {}
+    envelope = []
     for display, fn in targets:
         report = run_lint(fn, options)
         if report.at_least(threshold):
             failed = True
+        n_warnings += len(report.warnings)
         if args.json:
             json_out[display] = json.loads(report.render_json())
+        elif args.format == "json":
+            # field names shared with the compile service's error envelope
+            # (repro.service.protocol.error_response): name, message,
+            # diagnostics, ok — tooling can parse both with one schema
+            envelope.append({
+                "name": display,
+                "ok": report.ok,
+                "errors": len(report.errors),
+                "warnings": len(report.warnings),
+                "diagnostics": [d.to_dict() for d in report.diagnostics],
+            })
         elif report.diagnostics:
             print(f"== {display}")
             print(report.render_text())
         else:
             print(f"== {display}: clean")
+    if args.max_warnings is not None and n_warnings > args.max_warnings:
+        failed = True
+        if not as_json:
+            print(f"{n_warnings} warning(s) exceed the "
+                  f"--max-warnings {args.max_warnings} budget",
+                  file=sys.stderr)
     if args.json:
         print(json.dumps(json_out, indent=2))
+    elif args.format == "json":
+        print(json.dumps({"ok": not failed, "targets": envelope}, indent=2))
+    return 1 if failed else 0
+
+
+def _fmt_abstract(state):
+    """JSON-friendly abstract last_reg state: class -> value, TOP -> 'T',
+    whole-state None (unreachable block) -> None."""
+    from repro.encoding.static_verifier import TOP
+
+    if state is None:
+        return None
+    return {cls: ("T" if v is TOP else v) for cls, v in sorted(state.items())}
+
+
+def _cmd_analyze(args) -> int:
+    import json
+    import os
+
+    from repro.encoding.static_verifier import verify_encoding_static
+    from repro.regalloc.pipeline import SETUPS, run_setup
+    from repro.workloads import MIBENCH, get_workload
+
+    setups = tuple(args.setup) if args.setup else \
+        tuple(s for s in SETUPS if s not in ("baseline", "ospill"))
+
+    targets = []  # (display name, factory) — fresh Function per setup
+    for target in args.targets:
+        if target == "all":
+            targets.extend((w.name, w.function) for w in MIBENCH)
+        elif os.path.exists(target):
+            targets.append((target, lambda t=target: _parse_file(t)))
+        else:
+            try:
+                targets.append((target, get_workload(target).function))
+            except KeyError:
+                print(f"analyze target {target!r} is neither a file nor a "
+                      "workload; try `python -m repro list`",
+                      file=sys.stderr)
+                return 2
+
+    failed = False
+    results = []
+    for display, factory in targets:
+        for setup in setups:
+            prog = run_setup(factory(), setup,
+                             remap_restarts=args.restarts,
+                             setlr_elim=not args.no_elim)
+            entry = {"name": display, "setup": setup}
+            if prog.encoded is None:
+                entry["encoded"] = False
+                results.append(entry)
+                continue
+            enc = prog.encoded
+            sv = verify_encoding_static(enc)
+            analysis = sv.analysis
+            if not sv.ok:
+                failed = True
+            entry.update({
+                "encoded": True,
+                "ok": sv.ok,
+                "iterations": analysis.iterations,
+                "blocks": {
+                    b.name: {
+                        "entry": _fmt_abstract(analysis.entry_states[b.name]),
+                        "exit": _fmt_abstract(analysis.exit_states[b.name]),
+                    }
+                    for b in enc.fn.blocks
+                },
+                "setlr": {
+                    "inline": enc.n_setlr_inline,
+                    "join": enc.n_setlr_join,
+                    "removed": enc.n_setlr_removed,
+                    "final": enc.n_setlr,
+                    "redundant_remaining": analysis.n_redundant,
+                    "dead_remaining": analysis.n_dead,
+                },
+                "errors": len(sv.report.errors),
+                "warnings": len(sv.report.warnings),
+                "diagnostics": [d.to_dict() for d in sv.report.diagnostics],
+            })
+            results.append(entry)
+
+    if args.format == "json":
+        print(json.dumps({"ok": not failed, "results": results}, indent=2))
+        return 1 if failed else 0
+
+    for entry in results:
+        head = f"== {entry['name']}/{entry['setup']}"
+        if not entry["encoded"]:
+            print(f"{head}: direct encoding (nothing to analyze)")
+            continue
+        s = entry["setlr"]
+        verdict = "ok" if entry["ok"] else f"{entry['errors']} error(s)"
+        print(f"{head}: {verdict}, {entry['iterations']} fixpoint "
+              "iteration(s)")
+        print(f"   set_last_reg: {s['inline']} out-of-range + {s['join']} "
+              f"join - {s['removed']} eliminated = {s['final']} "
+              f"({s['redundant_remaining']} redundant, "
+              f"{s['dead_remaining']} dead remaining)")
+        for bname, states in entry["blocks"].items():
+            if states["entry"] is None:
+                print(f"   {bname:12} unreachable")
+                continue
+            ein = " ".join(f"{c}={v}" for c, v in states["entry"].items())
+            eout = " ".join(f"{c}={v}" for c, v in states["exit"].items())
+            print(f"   {bname:12} entry[{ein}] exit[{eout}]")
+        for d in entry["diagnostics"]:
+            print(f"   {d['severity']}: {d['message']} [{d['rule']}]")
     return 1 if failed else 0
 
 
@@ -607,15 +740,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_disasm)
 
     p = sub.add_parser("lint",
-                       help="static IR checks (rules L001-L009, see "
+                       help="static IR checks (rules L001-L011, see "
                             "docs/lint_rules.md) on assembly files or "
                             "bundled workloads")
     p.add_argument("targets", nargs="+",
                    help=".s file path, workload name, or 'all'")
     p.add_argument("--json", action="store_true",
-                   help="machine-readable output")
+                   help="machine-readable output (legacy per-target map; "
+                        "prefer --format json)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="output format; json shares field names with the "
+                        "compile-service error envelope")
     p.add_argument("--strict", action="store_true",
                    help="treat warnings as failures")
+    p.add_argument("--max-warnings", type=int, default=None, metavar="N",
+                   help="fail (exit 1) when more than N warnings accumulate "
+                        "across all targets")
     p.add_argument("--allocated", action="store_true",
                    help="hold the input to post-allocation invariants")
     p.add_argument("--k", type=int,
@@ -630,6 +770,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--disable", action="append", metavar="RULE",
                    help="rule id or name to skip (repeatable)")
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser("analyze",
+                       help="static decode-stage analysis: per-block "
+                            "last_reg facts, E-series diagnostics and "
+                            "set_last_reg reduction stats")
+    p.add_argument("targets", nargs="+",
+                   help=".s file path, workload name, or 'all'")
+    p.add_argument("--setup", action="append",
+                   choices=("baseline", "remapping", "select", "ospill",
+                            "coalesce"),
+                   help="setup(s) to analyze (repeatable; default: the "
+                        "three differential setups)")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--restarts", type=int, default=10,
+                   help="remapping restarts (analysis is exact either way)")
+    p.add_argument("--no-elim", action="store_true",
+                   help="skip the setlr_elim post-pass, showing what it "
+                        "would remove as redundant/dead facts")
+    p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser("report",
                        help="run every study and emit one combined report")

@@ -25,6 +25,15 @@ from repro.encoding.access_order import (
 from repro.encoding.config import EncodingConfig
 from repro.encoding.encoder import EncodedFunction, encode_function
 from repro.encoding.verifier import EncodingError, verify_encoding
+from repro.encoding.static_verifier import (
+    TOP,
+    SetlrFact,
+    StaticAnalysis,
+    StaticVerificationReport,
+    analyze_last_reg,
+    verify_encoding_static,
+)
+from repro.encoding.setlr_elim import EliminationResult, eliminate_redundant_setlr
 from repro.encoding.codesize import code_size_bits, code_size_bytes, register_field_fraction
 from repro.encoding.binary import (
     PackedProgram,
@@ -51,6 +60,14 @@ __all__ = [
     "encode_function",
     "EncodingError",
     "verify_encoding",
+    "TOP",
+    "SetlrFact",
+    "StaticAnalysis",
+    "StaticVerificationReport",
+    "analyze_last_reg",
+    "verify_encoding_static",
+    "EliminationResult",
+    "eliminate_redundant_setlr",
     "code_size_bits",
     "code_size_bytes",
     "register_field_fraction",

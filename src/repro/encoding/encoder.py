@@ -76,12 +76,13 @@ class EncodedFunction:
     field_codes: Dict[int, Tuple[int, ...]]
     entry_values: Dict[str, Dict[str, int]]  # block -> cls -> last_reg on entry
     exit_values: Dict[str, Dict[str, int]]
-    n_setlr_inline: int = 0  # out-of-range repairs
-    n_setlr_join: int = 0    # multi-path repairs
+    n_setlr_inline: int = 0   # out-of-range repairs
+    n_setlr_join: int = 0     # multi-path repairs
+    n_setlr_removed: int = 0  # repairs deleted by setlr_elim
 
     @property
     def n_setlr(self) -> int:
-        return self.n_setlr_inline + self.n_setlr_join
+        return self.n_setlr_inline + self.n_setlr_join - self.n_setlr_removed
 
     @property
     def overhead_fraction(self) -> float:

@@ -87,6 +87,8 @@ def run_case(seed: int, config: FuzzConfig,
     """
     from repro.encoding.binary import pack_function, unpack_function
     from repro.encoding.encoder import encode_function
+    from repro.encoding.setlr_elim import eliminate_redundant_setlr
+    from repro.encoding.static_verifier import verify_encoding_static
     from repro.fuzz.mutate import strip_setlr
     from repro.ir.interp import InterpError, Interpreter
     from repro.ir.printer import format_function
@@ -144,6 +146,18 @@ def run_case(seed: int, config: FuzzConfig,
         if not report.ok:
             _fail(failures, "symbolic-checker", setup, report.render_text())
 
+        # oracle: the allocation-interference lint (L010) must accept the
+        # coloring the symbolic checker just proved semantics-preserving
+        alloc_lint = run_lint(
+            prog.final_fn,
+            LintOptions(allocated=True,
+                        coloring=prog.allocation.coloring,
+                        original=prog.allocation.colored_fn),
+            only=("L010",))
+        if alloc_lint.errors:
+            _fail(failures, "lint-interference", setup,
+                  alloc_lint.render_text())
+
         for args, expect in refs.items():
             try:
                 got = Interpreter(max_steps=_MAX_STEPS).run(
@@ -167,6 +181,30 @@ def run_case(seed: int, config: FuzzConfig,
             _fail(failures, "engine-agreement", setup,
                   f"reference engine fault on allocated fn: {exc}")
 
+        if prog.encoded is not None:
+            # oracle: the static verifier must agree with the decode
+            # replay that run_setup already passed
+            sv = verify_encoding_static(prog.encoded)
+            if not sv.ok:
+                _fail(failures, "static-verifier", setup,
+                      "static verifier rejects a replay-verified "
+                      "encoding:\n" + sv.report.render_text())
+            # setlr_elim ran in the pipeline, so nothing may remain
+            # provably redundant or dead
+            if any(f.removable for f in sv.analysis.setlr_facts):
+                _fail(failures, "static-verifier", setup,
+                      "setlr_elim left a removable set_last_reg behind")
+            # oracle: the redundant-setlr lint (L011) sees the same facts
+            # through the rule catalogue — post-elim it must be silent
+            setlr_lint = run_lint(
+                prog.final_fn,
+                LintOptions(allocated=True, encoding=prog.encoded.config,
+                            access_order=prog.encoded.config.access_order),
+                only=("L011",))
+            if setlr_lint.at_least(Severity.WARNING):
+                _fail(failures, "lint-setlr", setup,
+                      setlr_lint.render_text())
+
         if prog.encoded is not None and not has_calls:
             stripped = strip_setlr(prog.final_fn)
             try:
@@ -182,6 +220,9 @@ def run_case(seed: int, config: FuzzConfig,
                 continue
             try:
                 re_enc = encode_function(decoded, prog.encoded.config)
+                # the pipeline ran setlr_elim on the original encoding;
+                # determinism of encode + elim makes the bitstreams match
+                eliminate_redundant_setlr(re_enc, verify=False)
                 re_packed = pack_function(re_enc)
             except Exception as exc:
                 _fail(failures, "re-encode", setup,

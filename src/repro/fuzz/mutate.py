@@ -63,6 +63,9 @@ class Mutation:
     kind: str
     detail: str
     fn: Function
+    #: for encoding-layer corruptions: the corrupted EncodedFunction the
+    #: bits were packed from, so static verifiers can judge it too
+    enc: "EncodedFunction | None" = None
 
 
 @dataclass
@@ -73,6 +76,11 @@ class GateResult:
     armed: Dict[str, int] = field(default_factory=dict)
     caught: int = 0
     missed: List[str] = field(default_factory=list)
+    #: encoding-layer mutants the dynamic checker caught, judged again by
+    #: the static verifier (repro.encoding.static_verifier)
+    static_armed: int = 0
+    static_caught: int = 0
+    static_missed: List[str] = field(default_factory=list)
 
     @property
     def n_armed(self) -> int:
@@ -81,6 +89,13 @@ class GateResult:
     @property
     def detection_rate(self) -> float:
         return self.caught / self.n_armed if self.n_armed else 1.0
+
+    @property
+    def static_detection_rate(self) -> float:
+        """Fraction of dynamically-caught encoding mutants the static
+        verifier also flags (the gate demands 1.0)."""
+        return (self.static_caught / self.static_armed
+                if self.static_armed else 1.0)
 
 
 def strip_setlr(fn: Function) -> Function:
@@ -239,15 +254,17 @@ def _mutate_setlr(enc: EncodedFunction, rng: random.Random,
                 if nxt.info.is_branch or nxt.op == "setlr":
                     continue
                 block.instrs[ii], block.instrs[ii + 1] = nxt, ins
+            corrupted = replace(enc, fn=m)
             try:
-                packed = pack_function(replace(enc, fn=m))
+                packed = pack_function(corrupted)
                 decoded = unpack_function(packed)
                 decoded_uids = reattach_uids(decoded, reference)
             except (PackError, ValueError):
                 continue
             out.append(Mutation(
                 "setlr-corrupt",
-                f"{block.name}#{ii}: setlr {variant} corrupted", decoded_uids))
+                f"{block.name}#{ii}: setlr {variant} corrupted",
+                decoded_uids, enc=corrupted))
     return out
 
 
@@ -294,7 +311,15 @@ def run_mutation_gate(original: Function, prog: AllocatedProgram,
                       args_list: Sequence[Tuple[int, ...]] = _ARGS
                       ) -> GateResult:
     """Inject the catalogue into ``prog``, arm each mutation against the
-    interpreter, and demand the checker catch every armed one."""
+    interpreter, and demand the checker catch every armed one.
+
+    Encoding-layer mutants (``setlr-corrupt``) the dynamic checker catches
+    are additionally judged by the static verifier
+    (:func:`repro.encoding.static_verifier.verify_encoding_static` on the
+    corrupted pre-decode encoding); ``static_detection_rate`` must stay
+    1.0 for the static proof layer to be trusted."""
+    from repro.encoding.static_verifier import verify_encoding_static
+
     result = GateResult()
     for mut in enumerate_mutations(prog, base_seed, per_kind):
         result.total += 1
@@ -306,4 +331,11 @@ def run_mutation_gate(original: Function, prog: AllocatedProgram,
             result.missed.append(f"{mut.kind}: {mut.detail}")
         else:
             result.caught += 1
+            if mut.enc is not None:
+                result.static_armed += 1
+                if verify_encoding_static(mut.enc).ok:
+                    result.static_missed.append(
+                        f"{mut.kind}: {mut.detail}")
+                else:
+                    result.static_caught += 1
     return result

@@ -9,12 +9,13 @@ the encoder.  Three pieces:
 * a diagnostic core (:mod:`repro.diagnostics`, re-exported here):
   severities, rule ids, precise locations, fix-it hints, text and JSON
   renderers;
-* a rule catalogue (:mod:`repro.lint.rules`, ids ``L001``-``L009``,
+* a rule catalogue (:mod:`repro.lint.rules`, ids ``L001``-``L011``,
   documented in ``docs/lint_rules.md``): CFG well-formedness,
   def-before-use via liveness, virtual/physical mixing, register-class
   and calling-convention legality, two-address conformance,
   ``set_last_reg`` placement, spill-slot initialization, dead/duplicate
-  blocks;
+  blocks, allocation-interference soundness against the coloring, and
+  redundant/dead ``set_last_reg`` repairs from the static decode model;
 * pass-pipeline instrumentation (:mod:`repro.lint.passes`): a
   :class:`PassVerifier` that :func:`repro.regalloc.pipeline.run_setup`
   and the experiment harnesses call between stages

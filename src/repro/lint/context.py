@@ -13,7 +13,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.diagnostics import Location
 from repro.encoding.config import EncodingConfig
@@ -46,6 +55,11 @@ class LintOptions:
         two_address: force the two-address conformance rule on/off;
             ``None`` enables it exactly when ``access_order`` is
             ``"two_address"``.
+        coloring: the allocator's virtual-to-physical assignment, keyed on
+            the registers of ``original``; together with ``original`` it
+            enables the allocation-interference soundness rule (L010).
+        original: the (possibly spill-extended) virtual-register function
+            the ``coloring`` was computed for.
         disabled: rule ids or names to skip.
     """
 
@@ -55,6 +69,8 @@ class LintOptions:
     cc: Optional["CallingConvention"] = None
     access_order: str = "src_first"
     two_address: Optional[bool] = None
+    coloring: Optional[Mapping[Reg, int]] = None
+    original: Optional[Function] = None
     disabled: FrozenSet[str] = frozenset()
 
 

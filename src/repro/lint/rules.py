@@ -25,6 +25,12 @@ L007      setlr              set_last_reg payload shape, value range,
 L008      spill-slot         loads from (possibly) uninitialized spill
                              slots; stores never loaded back
 L009      dead-block         unreachable blocks, duplicate blocks
+L010      alloc-interference two simultaneously-live values assigned
+                             the same physical register (needs the
+                             coloring and the pre-allocation function)
+L011      redundant-setlr    set_last_reg repairs the static decode
+                             model proves redundant or dead; delays
+                             that never fire in their block
 ========  =================  ========================================
 """
 
@@ -583,6 +589,128 @@ def _check_dead_blocks(ctx: LintContext) -> List[Diagnostic]:
             ))
         else:
             seen[sig] = block.name
+    return out
+
+
+# ----------------------------------------------------------------------
+# L010 — allocation-interference soundness
+# ----------------------------------------------------------------------
+
+@_rule("L010", "alloc-interference",
+       "no two simultaneously-live values share a physical register "
+       "(checked against the coloring on the pre-allocation function)")
+def _check_alloc_interference(ctx: LintContext) -> List[Diagnostic]:
+    make = _make("L010", "alloc-interference")
+    opts = ctx.options
+    if opts.coloring is None or opts.original is None:
+        return []  # nothing to check against; pipeline checkpoints supply both
+    from repro.analysis.interference import build_interference
+    from repro.analysis.liveness import compute_liveness
+
+    coloring = opts.coloring
+
+    def color_of(r: Reg) -> Optional[int]:
+        # precolored physical operands carry their own assignment
+        return coloring.get(r, None if r.virtual else r.id)
+
+    out: List[Diagnostic] = []
+    try:
+        liveness = compute_liveness(opts.original)
+    except (KeyError, ValueError):
+        return [make(
+            Severity.WARNING,
+            "cannot check the coloring: the pre-allocation function has "
+            "malformed control flow",
+            Location(function=ctx.fn.name),
+        )]
+    classes = sorted({r.cls for r in opts.original.registers()})
+    seen: Set[Tuple[Reg, Reg]] = set()
+    for cls in classes:
+        graph = build_interference(opts.original, liveness=liveness, cls=cls)
+        for a in graph.nodes():
+            ca = color_of(a)
+            if ca is None:
+                continue  # spilled (rewritten to split temps) or uncolored
+            for b in graph.neighbors(a):
+                cb = color_of(b)
+                if cb is None or cb != ca:
+                    continue
+                pair = (min(a, b), max(a, b))
+                if pair in seen:
+                    continue
+                seen.add(pair)
+                out.append(make(
+                    Severity.ERROR,
+                    f"values {pair[0]} and {pair[1]} are simultaneously "
+                    f"live but share physical register r{ca} "
+                    f"(class {cls!r})",
+                    Location(function=ctx.fn.name),
+                    hint="the allocator merged interfering live ranges; "
+                         "one of the two values is clobbered",
+                ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# L011 — redundant / dead set_last_reg repairs
+# ----------------------------------------------------------------------
+
+@_rule("L011", "redundant-setlr",
+       "set_last_reg repairs the static decode model proves redundant "
+       "(value already held) or dead (value never read); delay counters "
+       "that never fire inside their block", needs_cfg=True)
+def _check_redundant_setlr(ctx: LintContext) -> List[Diagnostic]:
+    make = _make("L011", "redundant-setlr")
+    config = ctx.options.encoding
+    if config is None:
+        return []
+    if not any(i.op == "setlr" for i in ctx.fn.instructions()):
+        return []
+    if any(r.virtual for r in ctx.fn.registers()):
+        return []  # the decode model needs physical operands
+    from repro.encoding.static_verifier import analyze_last_reg
+
+    try:
+        analysis = analyze_last_reg(ctx.fn, config)
+    except (KeyError, TypeError, ValueError):
+        return []  # malformed payloads are L007's report, not ours
+    out: List[Diagnostic] = []
+    for fact in analysis.setlr_facts:
+        if not fact.removable:
+            continue
+        block = ctx.fn.block(fact.block)
+        instr = block.instrs[fact.instr_index]
+        loc = ctx.loc(block, fact.instr_index, instr)
+        if fact.redundant:
+            out.append(make(
+                Severity.WARNING,
+                f"set_last_reg writes {fact.value} to class "
+                f"{fact.cls!r} but the decoder already holds "
+                f"{fact.last_at_fire} at the fire point",
+                loc,
+                hint="provably a no-op on every path; "
+                     "encoding.setlr_elim deletes it",
+            ))
+        else:
+            out.append(make(
+                Severity.WARNING,
+                f"set_last_reg value {fact.value} (class {fact.cls!r}) "
+                "is never read by a later register field",
+                loc,
+                hint="dead repair; encoding.setlr_elim deletes it",
+            ))
+    for fact in analysis.delay_overflows:
+        block = ctx.fn.block(fact.block)
+        instr = block.instrs[fact.instr_index]
+        out.append(make(
+            Severity.ERROR,
+            f"set_last_reg delay {fact.delay} never fires: fewer than "
+            f"{fact.delay} register fields remain in block "
+            f"{fact.block!r}",
+            ctx.loc(block, fact.instr_index, instr),
+            hint="the decoder would carry the pending update past the "
+                 "block; recompute the delay",
+        ))
     return out
 
 

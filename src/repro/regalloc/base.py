@@ -32,6 +32,9 @@ class AllocationResult:
 
     ``fn`` holds physical registers only.  ``coloring`` maps the virtual
     registers of the (possibly spill-extended) input to register numbers.
+    ``colored_fn`` retains that spill-extended virtual-register function,
+    so the coloring stays checkable after the fact (lint rule L010,
+    :func:`check_allocation`).
     """
 
     fn: Function
@@ -41,6 +44,7 @@ class AllocationResult:
     rounds: int = 1
     moves_removed: int = 0
     stats: Dict[str, float] = field(default_factory=dict)
+    colored_fn: Optional[Function] = None
 
     @property
     def n_spill_instructions(self) -> int:

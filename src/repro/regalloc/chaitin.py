@@ -90,6 +90,7 @@ def chaitin_allocate(fn: Function, k: int, max_rounds: int = 64) -> AllocationRe
                 k=k,
                 rounds=round_no,
                 moves_removed=removed,
+                colored_fn=current,
             )
         all_spilled |= spilled
         current, next_vreg, temps = insert_spill_code(

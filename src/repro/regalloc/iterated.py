@@ -411,6 +411,7 @@ def iterated_allocate(fn: Function, k: int,
                 rounds=round_no,
                 moves_removed=removed,
                 stats={"coalesced_moves": float(len(state.coalesced_moves))},
+                colored_fn=current,
             )
             result.stats["colored_fn_instrs"] = float(current.num_instructions())
             return result

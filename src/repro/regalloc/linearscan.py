@@ -156,6 +156,7 @@ def linear_scan_allocate(fn: Function, k: int,
                 k=k,
                 rounds=round_no,
                 moves_removed=removed,
+                colored_fn=current,
             )
         all_spilled |= spilled
         current, next_vreg, temps = insert_spill_code(

@@ -74,6 +74,11 @@ class AllocatedProgram:
         return self.encoded.n_setlr if self.encoded else 0
 
     @property
+    def n_setlr_removed(self) -> int:
+        """Repairs deleted by the ``setlr_elim`` post-pass."""
+        return self.encoded.n_setlr_removed if self.encoded else 0
+
+    @property
     def setlr_fraction(self) -> float:
         """set_last_reg instructions over all instructions (Figure 12)."""
         n = self.n_instructions
@@ -133,6 +138,7 @@ def run_setup(fn: Function, setup: str,
               pass_verifier: Optional["PassVerifier"] = None,
               remap_seed: int = 0,
               remap_jobs: int = 1,
+              setlr_elim: bool = True,
               ) -> AllocatedProgram:
     """Run one function through one of the five Section 10.1 setups.
 
@@ -153,6 +159,11 @@ def run_setup(fn: Function, setup: str,
     ``remap_jobs`` fans those restarts out over a process pool (``0`` =
     all cores).  Neither changes results — remap restarts are
     deterministic in the seed regardless of the job count.
+
+    ``setlr_elim`` (default on) runs :func:`repro.encoding.setlr_elim.
+    eliminate_redundant_setlr` on the chosen encoding: ``set_last_reg``
+    repairs the static verifier proves redundant or dead are deleted
+    before verification.
     """
     config = EncodingConfig(reg_n=reg_n, diff_n=diff_n, access_order=access_order)
     encoded: Optional[EncodedFunction] = None
@@ -188,17 +199,20 @@ def run_setup(fn: Function, setup: str,
     if setup == "baseline":
         alloc = iterated_allocate(fn, base_k, freq=freq)
         final = alloc.fn
-        checkpoint("alloc:iterated", final, allocated=True, k=base_k)
+        checkpoint("alloc:iterated", final, allocated=True, k=base_k,
+                   coloring=alloc.coloring, original=alloc.colored_fn)
     elif setup == "remapping":
         alloc = iterated_allocate(fn, reg_n, freq=freq)
-        checkpoint("alloc:iterated", alloc.fn, allocated=True, k=reg_n)
+        checkpoint("alloc:iterated", alloc.fn, allocated=True, k=reg_n,
+                   coloring=alloc.coloring, original=alloc.colored_fn)
         encoded = _encode_best(remap_candidates(alloc.fn), config, freq)
         final = encoded.fn
         checkpoint("encode:remap", final, allocated=True, encoding=config)
     elif setup == "select":
         selector = DifferentialSelector(reg_n, diff_n, order=access_order)
         alloc = iterated_allocate(fn, reg_n, selector=selector, freq=freq)
-        checkpoint("alloc:diff_select", alloc.fn, allocated=True, k=reg_n)
+        checkpoint("alloc:diff_select", alloc.fn, allocated=True, k=reg_n,
+                   coloring=alloc.coloring, original=alloc.colored_fn)
         # "differential remapping can always be invoked after approach 2 or
         # 3" (Section 3); kept only when the real encoding improves
         encoded = _encode_best(remap_candidates(alloc.fn), config, freq)
@@ -207,18 +221,26 @@ def run_setup(fn: Function, setup: str,
     elif setup == "ospill":
         alloc = optimal_spill_allocate(fn, base_k, use_ilp=use_ilp, freq=freq)
         final = alloc.fn
-        checkpoint("alloc:ospill", final, allocated=True, k=base_k)
+        checkpoint("alloc:ospill", final, allocated=True, k=base_k,
+                   coloring=alloc.coloring, original=alloc.colored_fn)
     elif setup == "coalesce":
         alloc = differential_coalesce_allocate(
             fn, reg_n, diff_n, order=access_order, use_ilp=use_ilp, freq=freq
         )
-        checkpoint("alloc:diff_coalesce", alloc.fn, allocated=True, k=reg_n)
+        checkpoint("alloc:diff_coalesce", alloc.fn, allocated=True, k=reg_n,
+                   coloring=alloc.coloring, original=alloc.colored_fn)
         encoded = _encode_best(remap_candidates(alloc.fn), config, freq)
         final = encoded.fn
         checkpoint("encode:remap", final, allocated=True, encoding=config)
     else:
         raise ValueError(f"unknown setup {setup!r}; expected one of {SETUPS}")
 
+    if encoded is not None and setlr_elim:
+        from repro.encoding.setlr_elim import eliminate_redundant_setlr
+
+        if eliminate_redundant_setlr(encoded, verify=False).n_removed:
+            checkpoint("encode:setlr_elim", final,
+                       allocated=True, encoding=config)
     if verify and encoded is not None:
         verify_encoding(encoded)
     return AllocatedProgram(

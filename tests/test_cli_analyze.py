@@ -1,0 +1,54 @@
+"""The `repro analyze` CLI: per-block decode facts and setlr stats."""
+
+import json
+
+from repro.cli import main
+
+
+def test_analyze_text_output(capsys):
+    assert main(["analyze", "crc32", "--setup", "remapping",
+                 "--restarts", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "crc32/remapping: ok" in out
+    assert "set_last_reg:" in out
+    assert "entry[" in out and "exit[" in out
+
+
+def test_analyze_json_accounting(capsys):
+    assert main(["analyze", "crc32", "--setup", "remapping",
+                 "--restarts", "5", "--format", "json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["ok"] is True
+    [entry] = data["results"]
+    assert entry["encoded"] and entry["ok"]
+    s = entry["setlr"]
+    assert s["final"] == s["inline"] + s["join"] - s["removed"]
+    # the pipeline's setlr_elim leaves nothing provably removable
+    assert s["redundant_remaining"] == 0 and s["dead_remaining"] == 0
+    # every block reports an abstract state per encoded class
+    for states in entry["blocks"].values():
+        assert set(states) == {"entry", "exit"}
+        if states["entry"] is not None:
+            assert "int" in states["entry"]
+
+
+def test_analyze_no_elim_exposes_removable_facts(capsys):
+    # the acceptance-criterion workload: crc32/remapping carries at least
+    # one repair the static verifier proves removable
+    assert main(["analyze", "crc32", "--setup", "remapping",
+                 "--restarts", "5", "--no-elim", "--format", "json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    [entry] = data["results"]
+    s = entry["setlr"]
+    assert s["removed"] == 0
+    assert s["redundant_remaining"] + s["dead_remaining"] >= 1
+
+
+def test_analyze_direct_setup_has_nothing_to_analyze(capsys):
+    assert main(["analyze", "crc32", "--setup", "baseline"]) == 0
+    assert "direct encoding" in capsys.readouterr().out
+
+
+def test_analyze_unknown_target_is_usage_error(capsys):
+    assert main(["analyze", "no_such_workload"]) == 2
+    assert "neither a file nor a workload" in capsys.readouterr().err

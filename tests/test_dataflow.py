@@ -1,0 +1,165 @@
+"""Tests for the generic dataflow framework (repro.analysis.dataflow)."""
+
+import pytest
+
+from repro.analysis import compute_liveness
+from repro.analysis.dataflow import (
+    DataflowProblem,
+    intersection_join,
+    reverse_postorder,
+    solve,
+    union_join,
+)
+from repro.ir import parse_function
+
+
+DIAMOND = """
+func f(v0):
+entry:
+    li v1, 10
+    blt v0, v1, small
+big:
+    li v2, 1
+    br join
+small:
+    li v2, 2
+join:
+    ret v2
+"""
+
+LOOP = """
+func f(v0):
+entry:
+    li v1, 0
+    li v2, 0
+loop:
+    bge v1, v0, exit
+body:
+    add v2, v2, v1
+    addi v1, v1, 1
+    br loop
+exit:
+    ret v2
+"""
+
+
+def _defined_names_problem(fn, direction="forward"):
+    """Forward must-analysis: block names every path has passed through."""
+    all_names = frozenset(b.name for b in fn.blocks)
+    return DataflowProblem(
+        direction=direction,
+        boundary=frozenset(),
+        init=all_names,  # optimistic top for a must-analysis
+        join=intersection_join,
+        transfer=lambda block, fact: fact | {block.name},
+    )
+
+
+class TestReversePostorder:
+    def test_entry_first(self):
+        fn = parse_function(DIAMOND)
+        order = reverse_postorder(fn)
+        assert order[0] == "entry"
+        assert sorted(order) == sorted(b.name for b in fn.blocks)
+
+    def test_predecessors_before_successors_acyclic(self):
+        fn = parse_function(DIAMOND)
+        pos = {n: i for i, n in enumerate(reverse_postorder(fn))}
+        assert pos["entry"] < pos["big"]
+        assert pos["entry"] < pos["small"]
+        assert pos["big"] < pos["join"]
+        assert pos["small"] < pos["join"]
+
+    def test_unreachable_blocks_appended(self):
+        fn = parse_function("""
+func f(v0):
+entry:
+    ret v0
+orphan:
+    ret v0
+""")
+        order = reverse_postorder(fn)
+        assert order == ["entry", "orphan"]
+
+
+class TestForward:
+    def test_must_pass_through_diamond(self):
+        fn = parse_function(DIAMOND)
+        res = solve(fn, _defined_names_problem(fn))
+        # join is reached via big or small, so only entry is on every path
+        assert res.in_facts["join"] == frozenset({"entry", "big", "small"}) & \
+            res.in_facts["join"]  # sanity: subset of the arms
+        assert "entry" in res.in_facts["join"]
+        assert "big" not in res.in_facts["join"]
+        assert "small" not in res.in_facts["join"]
+        assert res.out_facts["join"] >= {"entry", "join"}
+
+    def test_loop_fixpoint(self):
+        fn = parse_function(LOOP)
+        res = solve(fn, _defined_names_problem(fn))
+        # every path to body goes through entry and loop
+        assert res.in_facts["body"] >= {"entry", "loop"}
+        # exit is reachable without passing through body
+        assert "body" not in res.in_facts["exit"]
+
+    def test_entry_gets_boundary(self):
+        fn = parse_function(DIAMOND)
+        res = solve(fn, _defined_names_problem(fn))
+        assert res.in_facts["entry"] == frozenset()
+
+
+class TestBackward:
+    def test_matches_handrolled_liveness(self):
+        """The framework-based liveness equals the old hand-rolled loop."""
+        for text in (DIAMOND, LOOP):
+            fn = parse_function(text)
+            lv = compute_liveness(fn)
+            # recompute with an inline problem to cross-check the solver
+            use, defs = {}, {}
+            for b in fn.blocks:
+                u, d = set(), set()
+                for i in b.instrs:
+                    for r in i.uses():
+                        if r not in d:
+                            u.add(r)
+                    d.update(i.defs())
+                use[b.name], defs[b.name] = frozenset(u), frozenset(d)
+            res = solve(fn, DataflowProblem(
+                direction="backward",
+                boundary=frozenset(),
+                init=frozenset(),
+                join=union_join,
+                transfer=lambda blk, out: use[blk.name] | (out - defs[blk.name]),
+            ))
+            assert res.in_facts == lv.live_in
+            assert res.out_facts == lv.live_out
+
+    def test_exit_block_gets_boundary(self):
+        fn = parse_function(LOOP)
+        res = solve(fn, DataflowProblem(
+            direction="backward",
+            boundary=frozenset({"sentinel"}),
+            init=frozenset(),
+            join=union_join,
+            transfer=lambda blk, out: out,
+        ))
+        # identity transfer propagates the exit boundary everywhere
+        assert res.out_facts["exit"] == frozenset({"sentinel"})
+        assert res.in_facts["entry"] == frozenset({"sentinel"})
+
+
+class TestValidation:
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError, match="direction"):
+            DataflowProblem(
+                direction="sideways",
+                boundary=frozenset(),
+                init=frozenset(),
+                join=union_join,
+                transfer=lambda b, f: f,
+            )
+
+    def test_iterations_reported(self):
+        fn = parse_function(LOOP)
+        res = solve(fn, _defined_names_problem(fn))
+        assert res.iterations >= len(fn.blocks)

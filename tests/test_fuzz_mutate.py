@@ -77,6 +77,18 @@ class TestMutationGate:
             if gate.n_armed:
                 assert gate.detection_rate == 1.0
 
+    def test_static_verifier_matches_dynamic_on_setlr_corrupt(
+            self, gate_results):
+        # the issue's bar: the static verifier flags 100% of the
+        # setlr-corrupt mutants the dynamic checker catches
+        judged = sum(g.static_armed for _, _, g in gate_results)
+        assert judged > 0  # encoded setups produced armed setlr mutants
+        for name, setup, gate in gate_results:
+            assert gate.static_missed == [], (
+                f"{name}/{setup}: static verifier missed mutants the "
+                f"dynamic checker caught: {gate.static_missed}")
+            assert gate.static_detection_rate == 1.0
+
 
 class TestArming:
     def test_faithful_copy_is_not_a_miscompile(self):

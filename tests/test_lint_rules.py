@@ -521,6 +521,154 @@ def test_l009_duplicate_blocks():
 
 
 # ----------------------------------------------------------------------
+# L010 — allocation-interference soundness
+# ----------------------------------------------------------------------
+
+_L010_ORIGINAL = """
+func f(v0):
+entry:
+    addi v1, v0, 1
+    add v2, v0, v1
+    ret v2
+"""
+
+_L010_ALLOCATED = """
+func f(r1):
+entry:
+    addi r2, r1, 1
+    add r3, r1, r2
+    ret r3
+"""
+
+
+def test_l010_silent_without_coloring():
+    fn = parse_function(_L010_ALLOCATED)
+    assert not run_lint(fn).by_rule("L010")
+
+
+def test_l010_clean_coloring_passes():
+    report = run_lint(
+        parse_function(_L010_ALLOCATED),
+        LintOptions(allocated=True,
+                    coloring={vreg(0): 1, vreg(1): 2, vreg(2): 3},
+                    original=parse_function(_L010_ORIGINAL)))
+    assert not report.by_rule("L010")
+
+
+def test_l010_interfering_values_sharing_a_register():
+    # v0 is live across v1's definition, so v0/v1 interfere; assigning
+    # both to r1 is the classic allocator miscompile
+    diags = run_lint(
+        parse_function(_L010_ALLOCATED),
+        LintOptions(allocated=True,
+                    coloring={vreg(0): 1, vreg(1): 1, vreg(2): 3},
+                    original=parse_function(_L010_ORIGINAL)),
+    ).by_rule("L010")
+    assert len(diags) == 1
+    assert diags[0].severity == Severity.ERROR
+    assert "share physical register r1" in diags[0].message
+
+
+def test_l010_spilled_values_are_skipped():
+    # a spilled vreg is absent from the coloring (rewritten to split
+    # temps); the rule must not crash or flag it
+    report = run_lint(
+        parse_function(_L010_ALLOCATED),
+        LintOptions(allocated=True,
+                    coloring={vreg(0): 1, vreg(2): 1},
+                    original=parse_function(_L010_ORIGINAL)))
+    assert not report.by_rule("L010")
+
+
+def test_l010_coalesced_move_pair_is_legal():
+    # move-related values may share a register: the interference builder
+    # exempts the move edge, exactly so coalescing stays checkable
+    original = parse_function("""
+    func f(v0):
+    entry:
+        mov v1, v0
+        addi v2, v1, 1
+        ret v2
+    """)
+    report = run_lint(
+        parse_function(_L010_ALLOCATED),
+        LintOptions(allocated=True,
+                    coloring={vreg(0): 1, vreg(1): 1, vreg(2): 2},
+                    original=original))
+    assert not report.by_rule("L010")
+
+
+# ----------------------------------------------------------------------
+# L011 — redundant / dead set_last_reg repairs
+# ----------------------------------------------------------------------
+
+_L011_FN = """
+func f(r1):
+entry:
+    addi r2, r1, 1
+    add r3, r1, r2
+    ret r3
+"""
+
+_L011_OPTS = dict(allocated=True,
+                  encoding=EncodingConfig(reg_n=8, diff_n=8))
+
+
+def test_l011_silent_without_encoding_config():
+    fn = parse_function(_L011_FN)
+    fn.block("entry").instrs.insert(1, Instr("setlr", imm=(2, 0, "int")))
+    assert not run_lint(fn).by_rule("L011")
+
+
+def test_l011_redundant_setlr_warns():
+    # after 'addi r2, r1, 1' the decoder holds last=2; writing 2 again
+    # is a provable no-op on every path
+    fn = parse_function(_L011_FN)
+    fn.block("entry").instrs.insert(1, Instr("setlr", imm=(2, 0, "int")))
+    diags = run_lint(fn, LintOptions(**_L011_OPTS)).by_rule("L011")
+    assert len(diags) == 1
+    assert diags[0].severity == Severity.WARNING
+    assert "already holds 2" in diags[0].message
+    assert diags[0].location.block == "entry"
+    assert diags[0].location.instr_index == 1
+
+
+def test_l011_dead_setlr_warns():
+    # written after the last register field: no later decode reads it
+    fn = parse_function(_L011_FN)
+    fn.block("entry").instrs.append(Instr("setlr", imm=(5, 0, "int")))
+    diags = run_lint(fn, LintOptions(**_L011_OPTS)).by_rule("L011")
+    assert len(diags) == 1
+    assert diags[0].severity == Severity.WARNING
+    assert "never read" in diags[0].message
+
+
+def test_l011_necessary_setlr_is_silent():
+    # writes a value the decoder does not hold, and the next field's
+    # differential decode reads it: neither redundant nor dead
+    fn = parse_function(_L011_FN)
+    fn.block("entry").instrs.insert(0, Instr("setlr", imm=(5, 0, "int")))
+    assert not run_lint(fn, LintOptions(**_L011_OPTS)).by_rule("L011")
+
+
+def test_l011_delay_overflow_is_error():
+    fn = parse_function(_L011_FN)
+    fn.block("entry").instrs.insert(0, Instr("setlr", imm=(3, 99, "int")))
+    diags = run_lint(fn, LintOptions(**_L011_OPTS)).by_rule("L011")
+    assert len(diags) == 1
+    assert diags[0].severity == Severity.ERROR
+    assert "never fires" in diags[0].message
+
+
+def test_l011_malformed_payload_is_l007s_report():
+    fn = parse_function(_L011_FN)
+    fn.block("entry").instrs.insert(0, Instr("setlr", imm="bogus"))
+    report = run_lint(fn, LintOptions(**_L011_OPTS))
+    assert report.by_rule("L007")
+    assert not report.by_rule("L011")
+
+
+# ----------------------------------------------------------------------
 # driver behaviour
 # ----------------------------------------------------------------------
 

@@ -123,6 +123,60 @@ def test_cli_lint_allocated_and_k_flags(tmp_path, capsys):
     assert "[L004/reg-class]" in capsys.readouterr().out
 
 
+_WARN_ONLY = (
+    "func f(r0):\n"
+    "entry:\n"
+    "    stslot r0, slot0\n"
+    "    stslot r0, slot3\n"
+    "    ret r0\n"
+)
+
+
+def test_cli_lint_warnings_do_not_fail_by_default(tmp_path):
+    path = tmp_path / "warn.s"
+    path.write_text(_WARN_ONLY)
+    # exit-code contract: 1 only on error severity
+    assert main(["lint", str(path)]) == 0
+    assert main(["lint", str(path), "--strict"]) == 1
+
+
+def test_cli_lint_max_warnings_budget(tmp_path, capsys):
+    path = tmp_path / "warn.s"
+    path.write_text(_WARN_ONLY)
+    assert main(["lint", str(path), "--max-warnings", "2"]) == 0
+    assert main(["lint", str(path), "--max-warnings", "1"]) == 1
+    assert "exceed the --max-warnings 1 budget" in capsys.readouterr().err
+
+
+def test_cli_lint_format_json_envelope(tmp_path, capsys):
+    path = tmp_path / "warn.s"
+    path.write_text(_WARN_ONLY)
+    assert main(["lint", str(path), "--format", "json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["ok"] is True
+    [target] = data["targets"]
+    assert target["name"].endswith("warn.s")
+    assert target["ok"] is True  # warnings only
+    assert target["errors"] == 0 and target["warnings"] == 2
+    # field names shared with the service error envelope's diagnostics
+    d = target["diagnostics"][0]
+    assert set(d) >= {"rule", "name", "severity", "message", "location"}
+
+
+def test_cli_lint_format_json_reports_errors(tmp_path, capsys):
+    path = tmp_path / "broken.s"
+    path.write_text(
+        "func f():\n"
+        "entry:\n"
+        "    ldslot r0, slot0\n"
+        "    ret r0\n"
+    )
+    assert main(["lint", str(path), "--format", "json"]) == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data["ok"] is False
+    assert data["targets"][0]["errors"] == 1
+
+
 def test_cli_lint_disable_flag(tmp_path):
     path = tmp_path / "broken.s"
     path.write_text(
