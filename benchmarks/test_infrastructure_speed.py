@@ -45,3 +45,31 @@ def test_allocator_throughput(benchmark):
     fn = get_workload("fft").function()
     res = benchmark(iterated_allocate, fn, 12)
     assert res.k == 12
+
+
+def test_wire_round_trip_throughput(benchmark):
+    """Encode + decode rate of the fleet's wire codec; the extra_info
+    records the payload-size comparison against pickle so both axes of
+    the pickle-vs-wire trade land in the benchmark JSON."""
+    import pickle
+
+    from repro.ir.wire import from_wire, to_wire
+
+    fn = get_workload("sha").function()
+    wire = to_wire(fn)
+    benchmark.extra_info["wire_bytes"] = len(wire)
+    benchmark.extra_info["pickle_bytes"] = len(
+        pickle.dumps(fn, protocol=pickle.HIGHEST_PROTOCOL))
+
+    back = benchmark(lambda: from_wire(to_wire(fn)))
+    assert back.num_instructions() == fn.num_instructions()
+
+
+def test_pickle_round_trip_throughput(benchmark):
+    """The baseline the wire codec competes with, tracked side by side."""
+    import pickle
+
+    fn = get_workload("sha").function()
+    back = benchmark(lambda: pickle.loads(
+        pickle.dumps(fn, protocol=pickle.HIGHEST_PROTOCOL)))
+    assert back.num_instructions() == fn.num_instructions()

@@ -24,7 +24,7 @@ import time
 from typing import Dict, Optional, Sequence
 
 __all__ = ["bench_remap_descent", "bench_sweep", "bench_sim",
-           "collect_benchmarks", "collect_sim_benchmarks",
+           "bench_wire", "collect_benchmarks", "collect_sim_benchmarks",
            "write_bench_json"]
 
 BENCH_SCHEMA = 1
@@ -88,34 +88,120 @@ def bench_remap_descent(workload: str = "sha", reg_n: int = 16,
 def bench_sweep(n_workloads: int = 4,
                 reg_ns: Sequence[int] = (8, 12, 16),
                 remap_restarts: int = 8,
-                jobs: int = 0) -> Dict[str, object]:
-    """Time the RegN sweep grid, serial vs process-pool fan-out."""
+                jobs: int = 0,
+                repeats: int = 3) -> Dict[str, object]:
+    """Time the RegN sweep grid: serial vs the shared-fleet fan-out,
+    across a jobs sweep (1, 2, 4, and the requested count).
+
+    Each timing is the best of ``repeats`` runs — the fleet's workers
+    persist between calls, so the min reflects warm steady state, and
+    best-of-N suppresses scheduler noise on loaded CI machines.  Every
+    parallel run is also checked bit-identical to the serial one; the
+    recorded ``effective_workers`` makes the core clamp explicit (on a
+    single-core machine every job count collapses to the serial path,
+    so its speedup is ~1.0 by construction, not by luck).
+    """
+    import os
+
     from repro.experiments.sweep import run_regn_sweep
-    from repro.parallel import resolve_jobs
+    from repro.parallel import get_fleet, resolve_jobs
     from repro.workloads import MIBENCH
 
     workloads = MIBENCH[:n_workloads]
     n_jobs = resolve_jobs(jobs)
+    cpus = os.cpu_count() or 1
 
-    t0 = time.perf_counter()
-    serial = run_regn_sweep(workloads, reg_ns=tuple(reg_ns),
-                            remap_restarts=remap_restarts, jobs=1)
-    t_serial = time.perf_counter() - t0
+    def timed(j: int):
+        if j > 1:
+            get_fleet(j).warm()  # spin-up paid outside the timed region
+        best = float("inf")
+        result = None
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            result = run_regn_sweep(workloads, reg_ns=tuple(reg_ns),
+                                    remap_restarts=remap_restarts, jobs=j)
+            best = min(best, time.perf_counter() - t0)
+        return result, best
 
-    t0 = time.perf_counter()
-    parallel = run_regn_sweep(workloads, reg_ns=tuple(reg_ns),
-                              remap_restarts=remap_restarts, jobs=n_jobs)
-    t_parallel = time.perf_counter() - t0
+    serial, t_serial = timed(1)
 
+    jobs_sweep = []
+    by_jobs: Dict[int, float] = {}
+    for j in sorted({2, 4, n_jobs} - {1}):
+        result, t = timed(j)
+        by_jobs[j] = t
+        jobs_sweep.append({
+            "jobs": j,
+            "effective_workers": max(1, min(j, cpus)),
+            "seconds": t,
+            "speedup": t_serial / t if t else float("inf"),
+            "identical_results": result.points == serial.points,
+        })
+
+    t_parallel = by_jobs.get(n_jobs, t_serial)
     return {
         "workloads": [w.name for w in workloads],
         "reg_ns": list(reg_ns),
         "remap_restarts": remap_restarts,
         "jobs": n_jobs,
+        "cpus": cpus,
+        "repeats": repeats,
         "serial_seconds": t_serial,
         "parallel_seconds": t_parallel,
         "speedup": t_serial / t_parallel if t_parallel else float("inf"),
-        "identical_results": serial.points == parallel.points,
+        "identical_results": all(e["identical_results"]
+                                 for e in jobs_sweep),
+        "jobs_sweep": jobs_sweep,
+    }
+
+
+def bench_wire(n_workloads: int = 8,
+               repeats: int = 200) -> Dict[str, object]:
+    """Serialization micro-benchmark: pickle vs the compact wire codec.
+
+    Measures, over the first ``n_workloads`` kernels, total payload
+    bytes and best-of-3 encode/decode wall time for both formats.  The
+    wire codec is what the worker fleet ships functions with; this entry
+    keeps its size advantage (and any speed drift) on the trajectory.
+    """
+    import pickle
+
+    from repro.ir.wire import from_wire, to_wire
+    from repro.workloads import MIBENCH
+
+    fns = [w.function() for w in MIBENCH[:n_workloads]]
+    wires = [to_wire(fn) for fn in fns]
+    pickles = [pickle.dumps(fn, protocol=pickle.HIGHEST_PROTOCOL)
+               for fn in fns]
+
+    def best_of(fn_once) -> float:
+        best = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            for _ in range(max(1, repeats)):
+                fn_once()
+            best = min(best, time.perf_counter() - t0)
+        return best / max(1, repeats)
+
+    t_enc = best_of(lambda: [to_wire(f) for f in fns])
+    t_dec = best_of(lambda: [from_wire(b) for b in wires])
+    t_penc = best_of(lambda: [pickle.dumps(
+        f, protocol=pickle.HIGHEST_PROTOCOL) for f in fns])
+    t_pdec = best_of(lambda: [pickle.loads(b) for b in pickles])
+
+    wire_bytes = sum(len(b) for b in wires)
+    pickle_bytes = sum(len(b) for b in pickles)
+    return {
+        "workloads": [w.name for w in MIBENCH[:n_workloads]],
+        "instructions": sum(fn.num_instructions() for fn in fns),
+        "wire_bytes": wire_bytes,
+        "pickle_bytes": pickle_bytes,
+        "bytes_ratio": pickle_bytes / wire_bytes if wire_bytes
+        else float("inf"),
+        "wire_encode_us": 1e6 * t_enc,
+        "wire_decode_us": 1e6 * t_dec,
+        "pickle_encode_us": 1e6 * t_penc,
+        "pickle_decode_us": 1e6 * t_pdec,
     }
 
 
@@ -201,6 +287,7 @@ def collect_benchmarks(remap_restarts: int = 100,
         "remap": bench_remap_descent(workload=workload, reg_n=reg_n,
                                      restarts=remap_restarts),
         "sweep": bench_sweep(jobs=sweep_jobs),
+        "wire": bench_wire(),
     }
 
 

@@ -99,7 +99,10 @@ def _cmd_swp(args) -> int:
 def _cmd_alternatives(args) -> int:
     from repro.experiments.alternatives import run_alternatives_study
 
-    study = run_alternatives_study(remap_restarts=args.restarts)
+    jobs = _resolve_cli_jobs(args)
+    if jobs is None:
+        return 2
+    study = run_alternatives_study(remap_restarts=args.restarts, jobs=jobs)
     print(study.table().render())
     return 0
 
@@ -435,14 +438,19 @@ def _cmd_bench_remap(args) -> int:
     doc = write_bench_json(args.out, remap_restarts=args.restarts,
                            sweep_jobs=jobs, workload=args.workload,
                            reg_n=args.reg_n)
-    remap, sweep = doc["remap"], doc["sweep"]
+    remap, sweep, wire = doc["remap"], doc["sweep"], doc["wire"]
     print(f"remap descent ({remap['workload']}, RegN={remap['reg_n']}, "
           f"{remap['restarts']} restarts, {remap['engine']}): "
           f"{remap['speedup']:.1f}x vs reference "
           f"(identical={remap['identical_results']})")
     print(f"RegN sweep ({len(sweep['workloads'])} workloads, "
-          f"jobs={sweep['jobs']}): {sweep['speedup']:.1f}x vs serial "
-          f"(identical={sweep['identical_results']})")
+          f"{sweep['cpus']} cpus): jobs " + "  ".join(
+              f"{e['jobs']}={e['speedup']:.2f}x"
+              for e in sweep["jobs_sweep"]) +
+          f" vs serial (identical={sweep['identical_results']})")
+    print(f"wire codec ({wire['instructions']} instrs): "
+          f"{wire['bytes_ratio']:.1f}x smaller than pickle "
+          f"({wire['wire_bytes']} vs {wire['pickle_bytes']} bytes)")
     print(f"written to {args.out}")
     return 0 if remap["identical_results"] and sweep["identical_results"] \
         else 1
@@ -570,6 +578,7 @@ def _cmd_serve(args) -> int:
         args.host, args.port, store=store, jobs=jobs,
         queue_limit=args.queue_limit, max_batch=args.max_batch,
         linger=args.linger, request_timeout=args.timeout,
+        recycle_after=args.recycle_after or None,
         allow_debug=args.allow_debug, telemetry_path=args.telemetry,
         verbose=args.verbose,
     )
@@ -662,6 +671,26 @@ def _cmd_service_smoke(args) -> int:
                      request_timeout=args.timeout)
 
 
+def _cmd_loadtest(args) -> int:
+    from repro.service.loadtest import run_loadtest
+
+    doc = run_loadtest(
+        args.host, args.port, n_requests=args.requests,
+        concurrency=args.concurrency, out_path=args.out,
+        spawn=args.spawn, jobs=args.jobs, client_timeout=args.timeout,
+    )
+    lt = doc["loadtest"]
+    print(f"loadtest: {lt['requests']} requests @ concurrency "
+          f"{lt['concurrency']} in {lt['elapsed_seconds']:.2f}s "
+          f"({lt['throughput_rps']:.1f} req/s)")
+    print(f"  latency ms: p50 {lt['p50_ms']:.1f}  p90 {lt['p90_ms']:.1f}  "
+          f"p99 {lt['p99_ms']:.1f}")
+    print(f"  cache: {lt['hits']} hits / {lt['misses']} misses "
+          f"(hit rate {100 * lt['hit_rate']:.0f}%)  errors {lt['errors']}")
+    print(f"written to {args.out}")
+    return 0 if lt["errors"] == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -707,6 +736,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="direct-8 vs direct-16 vs differential-12 "
                             "(the Section 1 motivation)")
     p.add_argument("--restarts", type=int, default=25)
+    _add_parallel_args(p, with_seed=False)
     p.set_defaults(func=_cmd_alternatives)
 
     p = sub.add_parser("bench", help="run one benchmark through all setups")
@@ -871,6 +901,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=float, default=60.0,
                    help="per-request compile deadline (expired waits "
                         "answer 504; the artifact is still cached)")
+    p.add_argument("--recycle-after", type=int, default=0,
+                   help="retire and respawn pool workers after ~N "
+                        "dispatched tasks (0 = never); bounds worker "
+                        "memory growth in long-lived daemons")
     p.add_argument("--telemetry", default="",
                    help="write a metrics snapshot here on shutdown")
     p.add_argument("--ready-file", default="",
@@ -936,6 +970,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="server request deadline (the forced-timeout "
                         "case sleeps past it)")
     p.set_defaults(func=_cmd_service_smoke)
+
+    p = sub.add_parser("loadtest",
+                       help="replay N mixed compile requests against a "
+                            "live `repro serve` instance (or --spawn "
+                            "one) and write BENCH_service.json with "
+                            "p50/p99 latency, throughput and hit rate")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8421)
+    p.add_argument("--requests", type=int, default=100,
+                   help="number of mixed compile requests to replay")
+    p.add_argument("--concurrency", type=int, default=8,
+                   help="client-side thread-pool width")
+    p.add_argument("--spawn", action="store_true",
+                   help="boot a hermetic in-process server with a "
+                        "temporary store instead of targeting --host/"
+                        "--port (what CI does)")
+    p.add_argument("--jobs", type=int, default=2,
+                   help="worker processes for the --spawn server")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="client-side HTTP timeout per request")
+    p.add_argument("--out", default="BENCH_service.json",
+                   help="bench JSON path (CI artifact)")
+    p.set_defaults(func=_cmd_loadtest)
 
     p = sub.add_parser("bench-sim",
                        help="time the columnar interpreter/trace-reuse/"

@@ -31,7 +31,9 @@ from typing import Dict, List, Optional, Sequence
 from repro.analysis.profile import (block_frequencies_from_counts,
                                     profile_block_frequencies)
 from repro.experiments.reporting import Table, arith_mean
+from repro.ir.wire import to_wire
 from repro.machine.lowend import LowEndTimingModel
+from repro.parallel import parallel_map
 from repro.machine.reuse import interpret_or_derive, record_reference_run
 from repro.machine.spec import LOWEND, LowEndConfig
 from repro.regalloc.pipeline import run_setup
@@ -114,50 +116,78 @@ class AlternativesStudy:
         return t
 
 
+def _alternatives_workload(payload) -> List[AlternativeRow]:
+    """One workload through all three options; the grid task of
+    :func:`run_alternatives_study`.
+
+    Module-level and pure in its payload so it pickles into a process
+    pool; the function travels in compact wire form.  All three options
+    of one workload stay in one task because they share a recorded run
+    — and because rows are per-workload, order across workloads (hence
+    the job count) cannot change any number.
+    """
+    name, wire, args, config, remap_restarts, profile = payload
+    from repro.ir.wire import from_wire
+
+    fn = from_wire(wire)
+    wide_config = replace(config, instr_bytes=4)
+    # the three options share one recorded run: their traces differ
+    # only statically, and the machine configs differ only in timing
+    recorded = record_reference_run(fn, args)
+    if not profile:
+        freq = None
+    elif recorded is not None and recorded.block_instr_counts:
+        freq = block_frequencies_from_counts(
+            fn, recorded.block_instr_counts)
+    else:
+        freq = profile_block_frequencies(fn, args)
+
+    option_runs = {
+        # (setup, base_k, reg_n, machine config, instr bytes)
+        "direct-8": ("baseline", 8, 12, config),
+        "direct-16": ("baseline", 16, 16, wide_config),
+        "differential-12": ("select", 8, 12, config),
+    }
+    rows: List[AlternativeRow] = []
+    for option, (setup, base_k, reg_n, mconfig) in option_runs.items():
+        prog = run_setup(fn, setup, base_k=base_k, reg_n=reg_n,
+                         diff_n=8, remap_restarts=remap_restarts,
+                         freq=freq)
+        result = interpret_or_derive(prog.final_fn, args, recorded)
+        report = LowEndTimingModel(mconfig).time(
+            result.columnar if result.columnar is not None
+            else result.trace)
+        rows.append(AlternativeRow(
+            benchmark=name,
+            option=option,
+            instructions=prog.n_instructions,
+            code_bytes=prog.n_instructions * mconfig.instr_bytes,
+            spills=prog.n_spills,
+            setlr=prog.n_setlr,
+            cycles=report.cycles,
+            icache_misses=report.icache_misses,
+            fetch_bytes=report.instructions * mconfig.instr_bytes,
+        ))
+    return rows
+
+
 def run_alternatives_study(workloads: Sequence[Workload] = MIBENCH,
                            config: LowEndConfig = LOWEND,
                            remap_restarts: int = 25,
-                           profile: bool = True) -> AlternativesStudy:
-    """Run the three-option comparison over the kernel suite."""
-    rows: List[AlternativeRow] = []
-    wide_config = replace(config, instr_bytes=4)
-    for w in workloads:
-        fn = w.function()
-        args = w.default_args
-        # the three options share one recorded run: their traces differ
-        # only statically, and the machine configs differ only in timing
-        recorded = record_reference_run(fn, args)
-        if not profile:
-            freq = None
-        elif recorded is not None and recorded.block_instr_counts:
-            freq = block_frequencies_from_counts(
-                fn, recorded.block_instr_counts)
-        else:
-            freq = profile_block_frequencies(fn, args)
+                           profile: bool = True,
+                           jobs: int = 1) -> AlternativesStudy:
+    """Run the three-option comparison over the kernel suite.
 
-        option_runs = {
-            # (setup, base_k, reg_n, machine config, instr bytes)
-            "direct-8": ("baseline", 8, 12, config),
-            "direct-16": ("baseline", 16, 16, wide_config),
-            "differential-12": ("select", 8, 12, config),
-        }
-        for option, (setup, base_k, reg_n, mconfig) in option_runs.items():
-            prog = run_setup(fn, setup, base_k=base_k, reg_n=reg_n,
-                             diff_n=8, remap_restarts=remap_restarts,
-                             freq=freq)
-            result = interpret_or_derive(prog.final_fn, args, recorded)
-            report = LowEndTimingModel(mconfig).time(
-                result.columnar if result.columnar is not None
-                else result.trace)
-            rows.append(AlternativeRow(
-                benchmark=w.name,
-                option=option,
-                instructions=prog.n_instructions,
-                code_bytes=prog.n_instructions * mconfig.instr_bytes,
-                spills=prog.n_spills,
-                setlr=prog.n_setlr,
-                cycles=report.cycles,
-                icache_misses=report.icache_misses,
-                fetch_bytes=report.instructions * mconfig.instr_bytes,
-            ))
+    ``jobs`` distributes workloads over the shared process fleet
+    (``0`` = all cores); results are identical for every job count.
+    """
+    payloads = [
+        (w.name, to_wire(w.function()), tuple(w.default_args), config,
+         remap_restarts, profile)
+        for w in workloads
+    ]
+    rows: List[AlternativeRow] = []
+    for workload_rows in parallel_map(_alternatives_workload, payloads,
+                                      jobs=jobs):
+        rows.extend(workload_rows)
     return AlternativesStudy(rows)

@@ -174,26 +174,19 @@ def _lowend_workload(payload) -> List[BenchmarkRow]:
     :func:`run_lowend_experiment`.
 
     Module-level and pure in its payload so it pickles into a process
-    pool.  The cross-setup checksum consistency check happens here, inside
-    the task, because it only relates rows of the same workload.
+    pool; the (possibly composite) function travels in compact wire form,
+    built once by the caller and decoded here.  The cross-setup checksum
+    consistency check happens here, inside the task, because it only
+    relates rows of the same workload.
     """
-    (w, wi, setups, base_k, reg_n, diff_n, scale, config, remap_restarts,
-     use_ilp, verify, profile, composite, seed) = payload
+    (name, wire, args, setups, base_k, reg_n, diff_n, config,
+     remap_restarts, use_ilp, verify, profile, seed) = payload
     from repro.analysis.profile import (block_frequencies_from_counts,
                                         profile_block_frequencies)
-    from repro.workloads.compose import concat_functions
-    from repro.workloads.synth import generate_function
+    from repro.ir.wire import from_wire
 
     timing = LowEndTimingModel(config)
-    fn = w.function()
-    if composite:
-        fn = concat_functions(w.name, [
-            fn,
-            generate_function(9000 + 2 * wi, n_regions=3, base_values=7),
-            generate_function(9001 + 2 * wi, n_regions=3, base_values=7,
-                              with_memory=True),
-        ])
-    args = w.default_args if scale == "default" else w.bench_args
+    fn = from_wire(wire)
     # one interpretation of the input function serves every setup: the
     # profile weights below and, via trace derivation, each allocated
     # variant's dynamic trace (allocation preserves the block path and
@@ -217,7 +210,7 @@ def _lowend_workload(payload) -> List[BenchmarkRow]:
         report = timing.time(result.columnar if result.columnar is not None
                              else result.trace)
         rows.append(BenchmarkRow(
-            benchmark=w.name,
+            benchmark=name,
             setup=setup,
             instructions=prog.n_instructions,
             spills=prog.n_spills,
@@ -228,7 +221,7 @@ def _lowend_workload(payload) -> List[BenchmarkRow]:
         checksums[setup] = result.return_value
     if len(set(checksums.values())) != 1:
         raise AssertionError(
-            f"{w.name}: setups disagree on semantics: {checksums}"
+            f"{name}: setups disagree on semantics: {checksums}"
         )
     return rows
 
@@ -334,11 +327,26 @@ def run_lowend_experiment(workloads: Sequence[Workload] = MIBENCH,
                     f"{w.name}: setups disagree on semantics: {checksums}"
                 )
     else:
-        payloads = [
-            (w, wi, tuple(setups), base_k, reg_n, diff_n, scale, config,
-             remap_restarts, use_ilp, verify, profile, composite, seed)
-            for wi, w in enumerate(workloads)
-        ]
+        from repro.ir.wire import to_wire
+        from repro.workloads.compose import concat_functions
+        from repro.workloads.synth import generate_function
+
+        payloads = []
+        for wi, w in enumerate(workloads):
+            fn = w.function()
+            if composite:
+                fn = concat_functions(w.name, [
+                    fn,
+                    generate_function(9000 + 2 * wi, n_regions=3,
+                                      base_values=7),
+                    generate_function(9001 + 2 * wi, n_regions=3,
+                                      base_values=7, with_memory=True),
+                ])
+            args = w.default_args if scale == "default" else w.bench_args
+            payloads.append(
+                (w.name, to_wire(fn), tuple(args), tuple(setups), base_k,
+                 reg_n, diff_n, config, remap_restarts, use_ilp, verify,
+                 profile, seed))
         for workload_rows in parallel_map(_lowend_workload, payloads,
                                           jobs=jobs):
             rows.extend(workload_rows)

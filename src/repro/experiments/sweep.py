@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.analysis.profile import (block_frequencies_from_counts,
                                     profile_block_frequencies)
 from repro.experiments.reporting import Table, arith_mean
+from repro.ir.wire import from_wire, to_wire
 from repro.machine.lowend import LowEndTimingModel
 from repro.machine.reuse import interpret_or_derive, record_reference_run
 from repro.machine.spec import LOWEND, LowEndConfig
@@ -68,14 +69,16 @@ def _sweep_workload(payload) -> List[Tuple[float, float, float, float]]:
     :func:`run_regn_sweep`.
 
     Module-level and pure in its payload so it pickles into a process
-    pool.  Normalisation is per-workload against its own first (baseline)
+    pool; the function travels in compact wire form (built once by the
+    caller, decoded here) instead of being rebuilt per task.
+    Normalisation is per-workload against its own first (baseline)
     point, so evaluation order across workloads — and hence the job
     count — cannot change any number.
     """
-    w, reg_ns, diff_n, config, remap_restarts, use_ilp, remap_seed = payload
+    wire, args, reg_ns, diff_n, config, remap_restarts, use_ilp, \
+        remap_seed = payload
     timing = LowEndTimingModel(config)
-    fn = w.function()
-    args = w.default_args
+    fn = from_wire(wire)
     # one interpretation serves the profile and every sweep point's trace
     recorded = record_reference_run(fn, args)
     if recorded is not None and recorded.block_instr_counts:
@@ -132,7 +135,8 @@ def run_regn_sweep(workloads: Sequence[Workload] = MIBENCH,
             f"point, got reg_ns[0]={reg_ns[0]} > diff_n={diff_n}"
         )
     payloads = [
-        (w, tuple(reg_ns), diff_n, config, remap_restarts, use_ilp, seed)
+        (to_wire(w.function()), tuple(w.default_args), tuple(reg_ns),
+         diff_n, config, remap_restarts, use_ilp, seed)
         for w in workloads
     ]
     per_workload = parallel_map(_sweep_workload, payloads, jobs=jobs)

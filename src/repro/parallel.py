@@ -1,8 +1,9 @@
 """Deterministic parallel execution engine.
 
-A thin process-pool layer used by the remapping search (restart fan-out)
-and the experiment harnesses (workload × configuration grids).  Design
-rules, in order of priority:
+A process-pool layer used by the remapping search (restart fan-out), the
+experiment harnesses (workload × configuration grids), the fuzz harness
+and the compile service's batch dispatcher.  Design rules, in order of
+priority:
 
 1. **Bit-identical results.**  ``jobs=1`` and ``jobs>1`` must produce
    exactly the same outputs.  Tasks are therefore pure functions of their
@@ -11,23 +12,48 @@ rules, in order of priority:
    worker), and results are gathered in submission order.
 2. **Serial fallback.**  ``jobs=1`` never touches ``multiprocessing`` —
    it is a plain list comprehension, so single-job runs behave identically
-   on platforms without working process pools and under debuggers.
-3. **Chunking is the caller's job.**  Per-process task dispatch costs
-   far more than a small task; callers batch small units (e.g. remap
-   restarts) into contiguous chunks with :func:`chunked`.
+   on platforms without working process pools and under debuggers.  The
+   same fallback engages whenever a fan-out could not help: fewer than two
+   tasks, or a machine with fewer cores than requested workers (the pool
+   never oversubscribes — ``jobs=8`` on a 2-core box runs 2 workers, and
+   on a 1-core box runs serially, identically by rule 1).
+3. **Workers are a fleet, not a per-call cost.**  Pool spin-up and
+   per-task dispatch cost far more than a small task.  :func:`parallel_map`
+   therefore draws workers from a process-wide **shared fleet** —
+   :class:`WorkerPool` instances created once per process and reused
+   across every ``map`` call — and passes a computed ``chunksize``
+   (:func:`compute_chunksize`) so many small tasks travel as few
+   pickled messages.
+
+The fleet survives worker crashes: a ``map`` that hits a broken pool
+discards the dead executor, re-creates it, and retries the batch once
+(tasks are pure, so a retry cannot change results).  A batch that kills
+its workers twice raises :class:`WorkerCrashError` — and the *next*
+``map`` call still gets a fresh pool, so one poisonous batch never
+bricks a long-lived server.
 """
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import os
-from typing import Callable, Iterable, List, Sequence, TypeVar
+import threading
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
 
 __all__ = ["resolve_jobs", "derive_seed", "parallel_map", "chunked",
-           "WorkerPool"]
+           "compute_chunksize", "WorkerPool", "WorkerCrashError",
+           "get_fleet", "shutdown_fleet"]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+class WorkerCrashError(RuntimeError):
+    """A task batch killed its worker processes (twice — once on the
+    original pool and once on a fresh retry pool).  The pool itself has
+    already been recycled; subsequent ``map`` calls run on clean workers.
+    """
 
 
 def resolve_jobs(jobs: int) -> int:
@@ -79,62 +105,267 @@ def chunked(items: Sequence[T], n_chunks: int) -> List[List[T]]:
     return [c for c in out if c]
 
 
-def parallel_map(fn: Callable[[T], R], tasks: Iterable[T],
-                 jobs: int = 1) -> List[R]:
-    """Map ``fn`` over ``tasks``, preserving task order in the results.
+def compute_chunksize(n_tasks: int, workers: int) -> int:
+    """The ``chunksize`` a pooled map should use for ``n_tasks``.
 
-    With ``jobs=1`` (or fewer than two tasks) this is a serial loop; with
-    more it fans out over a process pool.  ``fn`` and every payload must be
-    picklable (module-level function, plain-data arguments).  The result
-    list is identical in either mode — parallelism never changes outputs,
-    only wall-clock time.
+    Targets four chunks per worker: large enough that per-message pickle
+    and queue overhead amortises across tasks, small enough that one slow
+    chunk cannot leave the other workers idle for long.  Chunking never
+    changes results — ``Executor.map`` preserves submission order
+    regardless of chunk boundaries.
     """
-    jobs = resolve_jobs(jobs)
-    task_list = list(tasks)
-    if jobs == 1 or len(task_list) <= 1:
-        return [fn(t) for t in task_list]
-    # imported lazily so jobs=1 runs never pay for (or depend on) the
-    # multiprocessing machinery
-    from concurrent.futures import ProcessPoolExecutor
+    if n_tasks <= 0 or workers <= 0:
+        return 1
+    size, extra = divmod(n_tasks, workers * 4)
+    return max(1, size + (1 if extra else 0))
 
-    with ProcessPoolExecutor(max_workers=min(jobs, len(task_list))) as pool:
-        return list(pool.map(fn, task_list))
+
+def _serial_map(fn: Callable[[T], R], tasks: Sequence[T]) -> List[R]:
+    """The shared serial fallback: a plain in-process loop."""
+    return [fn(t) for t in tasks]
+
+
+def _worker_warmup() -> int:
+    """No-op task used to force worker processes to actually spawn."""
+    return os.getpid()
 
 
 class WorkerPool:
-    """A reusable :func:`parallel_map`: same ordered, deterministic
-    contract, but the process pool persists across ``map`` calls.
+    """A persistent, crash-tolerant process pool with the
+    :func:`parallel_map` contract: ordered, deterministic, bit-identical
+    to serial execution.
 
-    One-shot ``parallel_map`` pays pool startup per call, which is fine
-    for experiment grids but not for a long-lived server dispatching
-    micro-batches every few milliseconds.  ``jobs=1`` never creates a
-    pool at all, and the pool is created lazily on the first multi-task
-    ``map`` — so serial servers stay ``multiprocessing``-free.
+    The executor is created lazily on the first multi-task ``map`` (or
+    eagerly via :meth:`warm`) and **reused across calls** — the whole
+    point of a fleet.  ``jobs=1``, single-task maps, and single-core
+    machines never touch ``multiprocessing`` at all.
+
+    Lifecycle properties:
+
+    * **Re-creatable after close.**  :meth:`close` releases the workers;
+      a later ``map`` transparently builds a fresh pool.  A closed pool
+      is therefore never an error, just a cold one.
+    * **Crash recovery.**  A batch that breaks the pool (a worker
+      segfault, ``os._exit``, OOM kill) is retried once on a fresh pool;
+      if it breaks that one too, :class:`WorkerCrashError` is raised and
+      the pool is left cold-but-usable for the next batch.
+    * **Recycling.**  With ``recycle_after=N``, the pool retires its
+      workers after ~N dispatched tasks and respawns at the next ``map``
+      boundary — bounding memory growth in week-long server processes.
+    * **Fork hygiene.**  A pool object inherited through ``os.fork`` in
+      a worker discards the parent's executor instead of deadlocking on
+      its queues.
     """
 
-    def __init__(self, jobs: int = 1) -> None:
+    def __init__(self, jobs: int = 1, *,
+                 recycle_after: Optional[int] = None) -> None:
+        if recycle_after is not None and recycle_after < 1:
+            raise ValueError(
+                f"recycle_after must be >= 1 tasks, got {recycle_after}")
         self.jobs = resolve_jobs(jobs)
+        self.recycle_after = recycle_after
         self._executor = None
+        self._tasks_dispatched = 0
+        self._recycled = 0
+        self._pid = os.getpid()
+        self._lock = threading.Lock()
 
-    def map(self, fn: Callable[[T], R], tasks: Iterable[T]) -> List[R]:
-        """Map ``fn`` over ``tasks`` in order, reusing the pool."""
+    # ------------------------------------------------------------------
+    # sizing
+    # ------------------------------------------------------------------
+
+    @property
+    def max_workers(self) -> int:
+        """Worker ceiling: requested jobs clamped to the machine's cores
+        (oversubscribing a CPU-bound pool only adds scheduler churn)."""
+        return max(1, min(self.jobs, os.cpu_count() or 1))
+
+    def _workers_for(self, n_tasks: int) -> int:
+        return min(self.max_workers, n_tasks)
+
+    # ------------------------------------------------------------------
+    # executor lifecycle
+    # ------------------------------------------------------------------
+
+    def _ensure_executor(self):
+        """The live executor, (re)created as needed — after ``close``,
+        after a crash, after recycling, or in a forked child."""
+        with self._lock:
+            if self._pid != os.getpid():
+                # forked child: the inherited executor's queues belong to
+                # the parent; using them would deadlock
+                self._executor = None
+                self._tasks_dispatched = 0
+                self._pid = os.getpid()
+            if self._executor is not None and self.recycle_after is not None \
+                    and self._tasks_dispatched >= self.recycle_after:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+                self._tasks_dispatched = 0
+                self._recycled += 1
+            if self._executor is None:
+                from concurrent.futures import ProcessPoolExecutor
+
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.max_workers)
+            return self._executor
+
+    def _discard_executor(self) -> None:
+        """Drop a (possibly broken) executor; the next map starts fresh."""
+        with self._lock:
+            executor = self._executor
+            self._executor = None
+            self._tasks_dispatched = 0
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def warm(self) -> int:
+        """Eagerly spawn the workers (servers call this before accepting
+        traffic, so the first batch is not also the slowest).  Returns the
+        number of workers spawned; 0 when the pool runs serially."""
+        if self.max_workers <= 1:
+            return 0
+        executor = self._ensure_executor()
+        futures = [executor.submit(_worker_warmup)
+                   for _ in range(self.max_workers)]
+        for f in futures:
+            f.result()
+        return self.max_workers
+
+    # ------------------------------------------------------------------
+    # the map
+    # ------------------------------------------------------------------
+
+    def map(self, fn: Callable[[T], R], tasks: Iterable[T],
+            chunksize: Optional[int] = None) -> List[R]:
+        """Map ``fn`` over ``tasks`` in order, reusing the fleet.
+
+        ``fn`` and every payload must be picklable (module-level
+        function, plain-data arguments).  The result list is identical
+        for every worker count — parallelism never changes outputs, only
+        wall-clock time.
+        """
         task_list = list(tasks)
-        if self.jobs == 1 or len(task_list) <= 1:
-            return [fn(t) for t in task_list]
-        if self._executor is None:
-            from concurrent.futures import ProcessPoolExecutor
+        workers = self._workers_for(len(task_list))
+        if workers <= 1 or len(task_list) <= 1:
+            return _serial_map(fn, task_list)
+        if chunksize is None:
+            chunksize = compute_chunksize(len(task_list), workers)
+        try:
+            return self._dispatch(fn, task_list, chunksize)
+        except _broken_pool_errors():
+            # the batch killed its workers: recycle the pool and retry
+            # once — tasks are pure, so the retry cannot change results
+            self._discard_executor()
+        try:
+            return self._dispatch(fn, task_list, chunksize)
+        except _broken_pool_errors() as exc:
+            self._discard_executor()
+            raise WorkerCrashError(
+                f"task batch of {len(task_list)} crashed the worker pool "
+                f"twice ({type(exc).__name__}); the pool has been recycled "
+                "and the next batch will run on fresh workers") from exc
 
-            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
-        return list(self._executor.map(fn, task_list))
+    def _dispatch(self, fn, task_list, chunksize) -> List[R]:
+        executor = self._ensure_executor()
+        results = list(executor.map(fn, task_list, chunksize=chunksize))
+        with self._lock:
+            self._tasks_dispatched += len(task_list)
+        return results
+
+    # ------------------------------------------------------------------
+    # introspection / shutdown
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for ``/statsz`` and tests: worker ceiling, liveness,
+        dispatched task total and recycle count."""
+        return {
+            "jobs": self.jobs,
+            "max_workers": self.max_workers,
+            "live": int(self._executor is not None),
+            "tasks_dispatched": self._tasks_dispatched,
+            "recycled": self._recycled,
+        }
 
     def close(self) -> None:
-        """Shut the pool down (idempotent; the pool is not reusable)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
+        """Release the workers (idempotent).  The pool stays usable: a
+        later ``map`` lazily re-creates the executor."""
+        with self._lock:
+            executor = self._executor
             self._executor = None
+            self._tasks_dispatched = 0
+        if executor is not None:
+            executor.shutdown(wait=True)
 
     def __enter__(self) -> "WorkerPool":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+def _broken_pool_errors():
+    """The exception types that mean "the pool's workers died"."""
+    from concurrent.futures import BrokenExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    return (BrokenExecutor, BrokenProcessPool, EOFError)
+
+
+# ----------------------------------------------------------------------
+# the shared fleet
+# ----------------------------------------------------------------------
+
+_fleet: Dict[int, WorkerPool] = {}
+_fleet_lock = threading.Lock()
+
+
+def get_fleet(jobs: int) -> WorkerPool:
+    """The process-wide shared :class:`WorkerPool` for a worker count.
+
+    Fleets are keyed by their *effective* (core-clamped) worker count and
+    live until :func:`shutdown_fleet` or interpreter exit, so every
+    ``parallel_map`` in a CLI invocation — hundreds of remap fan-outs in
+    one experiment grid — reuses the same warm workers instead of paying
+    pool spin-up per call.
+    """
+    workers = max(1, min(resolve_jobs(jobs), os.cpu_count() or 1))
+    with _fleet_lock:
+        pool = _fleet.get(workers)
+        if pool is None or pool._pid != os.getpid():
+            pool = WorkerPool(workers)
+            _fleet[workers] = pool
+        return pool
+
+
+def shutdown_fleet() -> None:
+    """Close every shared fleet pool (idempotent; re-usable afterwards —
+    pools re-create their executors lazily)."""
+    with _fleet_lock:
+        pools = list(_fleet.values())
+    for pool in pools:
+        if pool._pid == os.getpid():
+            pool.close()
+
+
+atexit.register(shutdown_fleet)
+
+
+def parallel_map(fn: Callable[[T], R], tasks: Iterable[T],
+                 jobs: int = 1,
+                 chunksize: Optional[int] = None) -> List[R]:
+    """Map ``fn`` over ``tasks``, preserving task order in the results.
+
+    With ``jobs=1`` (or fewer than two tasks, or a single-core machine)
+    this is a serial loop; otherwise it fans out over the **shared
+    fleet** (:func:`get_fleet`) with a computed ``chunksize``, so
+    repeated calls in one process reuse warm workers.  The result list
+    is identical in either mode — parallelism never changes outputs,
+    only wall-clock time.
+    """
+    jobs = resolve_jobs(jobs)
+    task_list = list(tasks)
+    if jobs == 1 or len(task_list) <= 1:
+        return _serial_map(fn, task_list)
+    return get_fleet(jobs).map(fn, task_list, chunksize=chunksize)

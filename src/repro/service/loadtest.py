@@ -1,0 +1,153 @@
+"""Service load test: replay mixed compile traffic, measure the tail.
+
+``repro loadtest`` drives N deterministic mixed compile requests (the
+same bag the smoke scenario uses: workloads across setups plus
+assembly-text sources) at a live ``repro serve`` instance through a
+client-side thread pool, then writes ``BENCH_service.json``:
+
+* latency percentiles (p50/p90/p99, milliseconds, client-observed wall
+  time per request),
+* throughput (requests per second over the whole replay),
+* artifact-store hit rate (from the ``X-Repro-Cache`` header — the mix
+  repeats, so a healthy store converts the tail of the run into hits),
+* error counts and, when reachable, the server's ``/statsz`` snapshot
+  (pool shape, batch sizes, worker crashes).
+
+With ``spawn=True`` the harness boots its own in-process server against
+a throwaway store first — that is what the CI job does, so the bench
+file tracks a hermetic configuration rather than whatever daemon happens
+to be running.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional
+
+from repro.service.client import ServiceClient
+from repro.service.smoke import _compile_requests
+
+__all__ = ["run_loadtest", "LOADTEST_SCHEMA"]
+
+LOADTEST_SCHEMA = 1
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    """The same nearest-rank percentile ``/statsz`` reports."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+def _replay(client: ServiceClient, requests: List[Dict[str, object]],
+            concurrency: int) -> List[Dict[str, object]]:
+    """Send every request; one observation dict per request, in order."""
+
+    def one(request: Dict[str, object]) -> Dict[str, object]:
+        t0 = time.monotonic()
+        try:
+            reply = client.compile_request(request)
+            return {
+                "seconds": time.monotonic() - t0,
+                "ok": bool(reply.ok),
+                "status": reply.status,
+                "cache": reply.cache,
+            }
+        except OSError as exc:
+            return {
+                "seconds": time.monotonic() - t0,
+                "ok": False,
+                "status": 0,
+                "cache": None,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+
+    with ThreadPoolExecutor(max_workers=max(1, concurrency)) as pool:
+        return list(pool.map(one, requests))
+
+
+def run_loadtest(host: str = "127.0.0.1", port: int = 8421, *,
+                 n_requests: int = 100,
+                 concurrency: int = 8,
+                 out_path: Optional[str] = "BENCH_service.json",
+                 spawn: bool = False,
+                 jobs: int = 2,
+                 client_timeout: float = 120.0) -> Dict[str, object]:
+    """Replay the mixed bag and return (and write) the bench document.
+
+    Against an already-running server, pass its ``host``/``port``; with
+    ``spawn=True`` the function instead boots an in-process
+    :class:`~repro.service.server.ServiceServer` with ``jobs`` workers
+    and a temporary store, and tears it down afterwards.
+    """
+    if n_requests < 1:
+        raise ValueError(f"n_requests must be >= 1, got {n_requests}")
+    # cycle a half-size unique bag so the replay revisits each request
+    # (~twice): the second visit should be an artifact-store hit, which
+    # makes the reported hit rate measure the store, not the mix
+    unique = _compile_requests(max(1, n_requests // 2))
+    requests = [unique[i % len(unique)] for i in range(n_requests)]
+
+    server = thread = tmp = None
+    try:
+        if spawn:
+            from repro.service.server import ServiceServer
+            from repro.service.store import ArtifactStore
+
+            tmp = tempfile.TemporaryDirectory(prefix="repro-loadtest-")
+            server = ServiceServer(
+                "127.0.0.1", 0, store=ArtifactStore(tmp.name), jobs=jobs)
+            thread = server.start_background()
+            host, port = server.host, server.port
+
+        client = ServiceClient(host, port, timeout=client_timeout)
+        t0 = time.monotonic()
+        observations = _replay(client, requests, concurrency)
+        elapsed = time.monotonic() - t0
+
+        latencies = sorted(o["seconds"] for o in observations)
+        hits = sum(1 for o in observations if o["cache"] == "hit")
+        misses = sum(1 for o in observations if o["cache"] == "miss")
+        errors = [o for o in observations if not o["ok"]]
+        try:
+            statsz = client.stats()
+        except OSError:
+            statsz = None
+
+        doc: Dict[str, object] = {
+            "schema": LOADTEST_SCHEMA,
+            "loadtest": {
+                "requests": len(observations),
+                "concurrency": concurrency,
+                "ok": len(observations) - len(errors),
+                "errors": len(errors),
+                "p50_ms": 1000 * _percentile(latencies, 0.50),
+                "p90_ms": 1000 * _percentile(latencies, 0.90),
+                "p99_ms": 1000 * _percentile(latencies, 0.99),
+                "elapsed_seconds": elapsed,
+                "throughput_rps": len(observations) / elapsed
+                if elapsed else float("inf"),
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hits / (hits + misses)
+                if hits + misses else 0.0,
+                "spawned": spawn,
+                "jobs": jobs if spawn else None,
+                "statsz": statsz,
+            },
+        }
+    finally:
+        if server is not None and thread is not None:
+            server.stop_background(thread)
+        if tmp is not None:
+            tmp.cleanup()
+
+    if out_path:
+        with open(out_path, "w") as f:
+            json.dump(doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+    return doc

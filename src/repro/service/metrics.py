@@ -31,6 +31,7 @@ _COUNTERS = (
     "rejected",            # 429 queue-full rejections
     "timeouts",            # per-request deadline expiries
     "drained_refusals",    # 503s while draining
+    "worker_crashes",      # batches lost to a broken pool (SVC13s)
 )
 
 

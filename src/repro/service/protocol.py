@@ -71,6 +71,7 @@ ERROR_CATALOG: Dict[str, Tuple[str, int]] = {
     "SVC10": ("queue-full", 429),
     "SVC11": ("draining", 503),
     "SVC12": ("internal-error", 500),
+    "SVC13": ("worker-crash", 500),
 }
 
 #: LowEndConfig fields a request may override: every scalar numeric knob

@@ -38,7 +38,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
 from repro.diagnostics import LintError
-from repro.parallel import WorkerPool
+from repro.parallel import WorkerCrashError, WorkerPool
 from repro.service import protocol
 from repro.service.metrics import ServiceMetrics
 from repro.service.store import ArtifactStore
@@ -73,6 +73,24 @@ def build_source_function(source: Dict[str, str]):
                             [exc.diagnostic]) from None
 
 
+def _request_function(req: Dict[str, object]):
+    """The request's function, preferring the compact wire form the
+    server attaches after validation (``req["_wire"]``) over re-building
+    from source — one parse per request instead of one per process.
+    Results are identical either way: the decoded function is
+    structurally equal to the parsed one, and the pipeline's outputs
+    never depend on instruction uids."""
+    wire = req.get("_wire")
+    if wire is not None:
+        from repro.ir.wire import WireError, from_wire
+
+        try:
+            return from_wire(wire)
+        except WireError:
+            pass  # corrupt payload: fall back to the source of truth
+    return build_source_function(req["source"])
+
+
 def _default_args(source: Dict[str, str]) -> Tuple[int, ...]:
     """Execution arguments when the request leaves ``args`` null."""
     if "workload" in source:
@@ -90,7 +108,7 @@ def _compile(req: Dict[str, object]) -> Dict[str, object]:
                                interpret_or_derive, record_reference_run)
     from repro.regalloc.pipeline import run_setup
 
-    fn = build_source_function(req["source"])
+    fn = _request_function(req)
     if req["debug_sleep"]:
         time.sleep(req["debug_sleep"])
     options = req["options"]
@@ -276,6 +294,7 @@ class ServiceServer:
                  max_batch: int = 8,
                  linger: float = 0.02,
                  request_timeout: float = 60.0,
+                 recycle_after: Optional[int] = None,
                  allow_debug: bool = False,
                  telemetry_path: Optional[str] = None,
                  verbose: bool = False) -> None:
@@ -285,7 +304,7 @@ class ServiceServer:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         self.store = store
         self.metrics = ServiceMetrics()
-        self.pool = WorkerPool(jobs)
+        self.pool = WorkerPool(jobs, recycle_after=recycle_after)
         self.max_batch = max_batch
         self.linger = linger
         self.request_timeout = request_timeout
@@ -327,6 +346,7 @@ class ServiceServer:
         doc = self.metrics.snapshot(queue_depth=self._queue.qsize())
         doc["store"] = self.store.stats()
         doc["jobs"] = self.pool.jobs
+        doc["pool"] = self.pool.stats()
         return doc
 
     # ------------------------------------------------------------------
@@ -346,6 +366,17 @@ class ServiceServer:
             from repro.analysis.cache import fingerprint_digest
 
             key = protocol.cache_key(req, fingerprint_digest(fn))
+            # The handler thread already materialised the function for
+            # the cache key; ship that work to the worker as a compact
+            # wire payload so the pool never re-parses the source.
+            # Attached *after* cache_key: the key hashes named fields
+            # only, and the wire form must never influence it.
+            from repro.ir.wire import WireError, to_wire
+
+            try:
+                req["_wire"] = to_wire(fn)
+            except WireError:
+                pass  # worker falls back to building from source
         except ProtocolError as exc:
             self.metrics.inc("responses_error")
             body = protocol.encode_message(
@@ -430,6 +461,15 @@ class ServiceServer:
             try:
                 responses = self.pool.map(
                     execute_request, [p.request for p in batch])
+            except WorkerCrashError as exc:
+                # a worker died mid-batch (segfault, OOM kill): the pool
+                # has already recycled itself, so only this in-flight
+                # batch fails — the dispatcher and later batches live on
+                self.metrics.inc("worker_crashes")
+                responses = [protocol.error_response(
+                    "SVC13", f"worker crashed while compiling this "
+                    f"batch: {exc}; the pool has been rebuilt — retry",
+                    retry_after=1)] * len(batch)
             except Exception as exc:  # noqa: BLE001 - e.g. a dead pool
                 responses = [protocol.error_response(
                     "SVC12", f"batch dispatch failed: "
@@ -447,7 +487,13 @@ class ServiceServer:
     # ------------------------------------------------------------------
 
     def start(self) -> None:
-        """Start the dispatcher (tests drive the HTTP loop separately)."""
+        """Start the dispatcher (tests drive the HTTP loop separately).
+
+        Pre-warms the worker fleet so the first real batch is served by
+        processes that already exist — spawn cost is paid before the
+        listener takes traffic, not inside a request's latency budget.
+        """
+        self.pool.warm()
         self._batch_thread.start()
 
     def start_background(self) -> threading.Thread:

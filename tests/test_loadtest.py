@@ -1,0 +1,33 @@
+"""The load generator end-to-end: spawn, replay, report, write JSON."""
+
+import json
+
+from repro.service.loadtest import _percentile, run_loadtest
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        xs = [10.0, 20.0, 30.0, 40.0]
+        assert _percentile(xs, 0.50) == 30.0
+        assert _percentile(xs, 0.99) == 40.0
+        assert _percentile([], 0.50) == 0.0
+
+
+class TestRunLoadtest:
+    def test_spawned_replay_writes_report(self, tmp_path):
+        out = tmp_path / "BENCH_service.json"
+        doc = run_loadtest(n_requests=8, concurrency=4,
+                           out_path=str(out), spawn=True, jobs=1)
+        assert json.loads(out.read_text()) == doc
+        lt = doc["loadtest"]
+        assert doc["schema"] == 1
+        assert lt["requests"] == 8 and lt["concurrency"] == 4
+        assert lt["errors"] == 0 and lt["ok"] == 8
+        assert lt["p50_ms"] <= lt["p90_ms"] <= lt["p99_ms"]
+        assert lt["throughput_rps"] > 0
+        # the bag repeats half its requests, so the store must warm up
+        assert lt["hits"] >= 1
+        assert lt["hits"] + lt["misses"] == 8
+        assert lt["spawned"] is True
+        assert lt["statsz"]["requests"] == 8
+        assert "pool" in lt["statsz"]

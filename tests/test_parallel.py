@@ -127,3 +127,221 @@ class TestExperimentJobsParity:
         serial = run_swp_experiment(n_loops=8, jobs=1)
         parallel = run_swp_experiment(n_loops=8, jobs=3)
         assert serial.loops == parallel.loops
+
+
+def _exit_hard(x):
+    import os
+    os._exit(13)
+
+
+def _crash_once(payload):
+    """Crash the worker on first sight of the sentinel; succeed after."""
+    import os
+    path, x = payload
+    if x < 0:
+        if not os.path.exists(path):
+            with open(path, "w") as fh:
+                fh.write("crashed")
+            os._exit(13)
+        return -x * -x
+    return x * x
+
+
+class TestComputeChunksize:
+    def test_at_least_one(self):
+        from repro.parallel import compute_chunksize
+
+        assert compute_chunksize(0, 4) == 1
+        assert compute_chunksize(3, 4) == 1
+        assert compute_chunksize(5, 0) == 1
+
+    def test_targets_four_chunks_per_worker(self):
+        from repro.parallel import compute_chunksize
+
+        # 100 tasks on 2 workers -> 8 target chunks -> size 13
+        size = compute_chunksize(100, 2)
+        assert 1 <= size <= 100
+        n_chunks = -(-100 // size)
+        assert 4 <= n_chunks <= 2 * 4 + 2
+
+    def test_never_starves_workers(self):
+        from repro.parallel import compute_chunksize
+
+        for n in (2, 7, 33, 128):
+            for w in (2, 3, 8):
+                size = compute_chunksize(n, w)
+                assert -(-n // size) >= min(n, w)
+
+
+class TestWorkerPool:
+    def test_pool_reuse_across_maps(self, monkeypatch):
+        """One pool services many map calls on the same executor — the
+        fleet property the whole PR exists for."""
+        import os
+
+        from repro.parallel import WorkerPool
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        with WorkerPool(2) as pool:
+            first = pool.map(_square, list(range(8)))
+            executor = pool._executor
+            assert executor is not None
+            for _ in range(3):
+                assert pool.map(_square, list(range(8))) == first
+                assert pool._executor is executor
+            stats = pool.stats()
+            assert stats["tasks_dispatched"] == 32
+            assert stats["live"] == 1
+
+    def test_close_then_reuse(self, monkeypatch):
+        import os
+
+        from repro.parallel import WorkerPool
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        pool = WorkerPool(2)
+        assert pool.map(_square, [1, 2, 3, 4]) == [1, 4, 9, 16]
+        pool.close()
+        assert pool.stats()["live"] == 0
+        # a closed pool is cold, not dead: the next map re-creates it
+        assert pool.map(_square, [5, 6, 7, 8]) == [25, 36, 49, 64]
+        pool.close()
+        pool.close()  # idempotent
+
+    def test_single_core_falls_back_to_serial(self, monkeypatch):
+        import os
+
+        from repro.parallel import WorkerPool
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        pool = WorkerPool(8)
+        assert pool.max_workers == 1
+        assert pool.map(_square, list(range(6))) == [x * x for x in range(6)]
+        assert pool.stats()["live"] == 0  # never spawned a process
+
+    def test_single_task_stays_serial(self, monkeypatch):
+        import os
+
+        from repro.parallel import WorkerPool
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        pool = WorkerPool(4)
+        assert pool.map(_square, [9]) == [81]
+        assert pool.stats()["live"] == 0
+
+    def test_warm_spawns_workers(self, monkeypatch):
+        import os
+
+        from repro.parallel import WorkerPool
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        with WorkerPool(2) as pool:
+            assert pool.warm() == 2
+            assert pool.stats()["live"] == 1
+
+    def test_warm_serial_pool_is_noop(self, monkeypatch):
+        import os
+
+        from repro.parallel import WorkerPool
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        pool = WorkerPool(4)
+        assert pool.warm() == 0
+        assert pool.stats()["live"] == 0
+
+    def test_recycling(self, monkeypatch):
+        import os
+
+        from repro.parallel import WorkerPool
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        with WorkerPool(2, recycle_after=4) as pool:
+            assert pool.map(_square, list(range(6))) == \
+                [x * x for x in range(6)]
+            assert pool.map(_square, list(range(6))) == \
+                [x * x for x in range(6)]
+            assert pool.stats()["recycled"] >= 1
+
+    def test_bad_recycle_after(self):
+        from repro.parallel import WorkerPool
+
+        with pytest.raises(ValueError):
+            WorkerPool(2, recycle_after=0)
+
+    def test_crash_recovery_retries_batch(self, monkeypatch, tmp_path):
+        """A batch that kills a worker once is retried on a fresh pool
+        and still returns results."""
+        import os
+
+        from repro.parallel import WorkerPool
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        sentinel = str(tmp_path / "crashed-once")
+        with WorkerPool(2) as pool:
+            tasks = [(sentinel, x) for x in (1, 2, -3, 4)]
+            assert pool.map(_crash_once, tasks, chunksize=1) == \
+                [1, 4, 9, 16]
+
+    def test_persistent_crash_raises_and_pool_survives(self, monkeypatch):
+        import os
+
+        from repro.parallel import WorkerCrashError, WorkerPool
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        with WorkerPool(2) as pool:
+            with pytest.raises(WorkerCrashError):
+                pool.map(_exit_hard, list(range(4)))
+            # the poisonous batch must not brick the pool
+            assert pool.map(_square, list(range(4))) == [0, 1, 4, 9]
+
+
+class TestFleet:
+    def test_shared_instance(self):
+        from repro.parallel import get_fleet
+
+        assert get_fleet(2) is get_fleet(2)
+
+    def test_keyed_by_effective_workers(self, monkeypatch):
+        import os
+
+        from repro.parallel import get_fleet
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        # everything clamps to one worker on a single-core machine
+        assert get_fleet(2) is get_fleet(8)
+
+    def test_parallel_map_reuses_fleet(self, monkeypatch):
+        import os
+
+        from repro.parallel import get_fleet, parallel_map
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        pool = get_fleet(2)
+        before = pool.stats()["tasks_dispatched"]
+        assert parallel_map(_square, list(range(8)), jobs=2) == \
+            [x * x for x in range(8)]
+        assert parallel_map(_square, list(range(8)), jobs=2) == \
+            [x * x for x in range(8)]
+        assert get_fleet(2) is pool
+        assert pool.stats()["tasks_dispatched"] == before + 16
+
+    def test_shutdown_leaves_fleet_usable(self, monkeypatch):
+        import os
+
+        from repro.parallel import get_fleet, parallel_map, shutdown_fleet
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        parallel_map(_square, list(range(4)), jobs=2)
+        shutdown_fleet()
+        assert get_fleet(2).stats()["live"] == 0
+        assert parallel_map(_square, list(range(4)), jobs=2) == \
+            [0, 1, 4, 9]
+
+
+class TestAlternativesJobsParity:
+    def test_alternatives_identical(self):
+        from repro.experiments.alternatives import run_alternatives_study
+
+        kw = dict(workloads=MIBENCH[:2], remap_restarts=2)
+        assert run_alternatives_study(jobs=1, **kw).rows == \
+            run_alternatives_study(jobs=2, **kw).rows

@@ -232,3 +232,92 @@ class TestBatching:
             # the linger window must have co-scheduled at least once
             assert snap["batches"] < len(seeds)
             assert snap["max_batch"] >= 2
+
+
+class TestWorkerCrash:
+    def test_crashed_batch_answers_svc13_and_dispatcher_survives(
+            self, tmp_path, monkeypatch):
+        """A worker death fails only the in-flight batch (SVC13); the
+        pool recycles itself and the next request compiles normally."""
+        import repro.parallel as parallel
+
+        with serving(tmp_path) as (server, client):
+            original_map = server.pool.map
+
+            def crashing_map(fn, tasks, chunksize=None):
+                monkeypatch.setattr(server.pool, "map", original_map)
+                raise parallel.WorkerCrashError("worker died (simulated)")
+
+            monkeypatch.setattr(server.pool, "map", crashing_map)
+            request = build_compile_request(workload="crc32", **FAST)
+            reply = client.compile_request(request)
+            assert reply.status == 500
+            assert reply.envelope["error"]["code"] == "SVC13"
+            assert reply.envelope["error"]["name"] == "worker-crash"
+            # the daemon survives: same request now compiles cleanly
+            reply = client.compile_request(request)
+            assert reply.ok
+            assert client.stats()["worker_crashes"] == 1
+
+    def test_real_worker_crash_recycles_pool(self, tmp_path, monkeypatch):
+        """With a real multi-process pool, an os._exit in a worker is
+        absorbed: the batch is retried on a fresh pool and succeeds."""
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        with serving(tmp_path, jobs=2) as (server, client):
+            assert server.pool.max_workers == 2
+            assert client.compile(workload="crc32", **FAST)["name"] == \
+                "crc32"
+
+
+class TestWireFastPath:
+    def test_request_carries_wire_form(self, tmp_path):
+        """handle_compile attaches the encoded function so workers never
+        re-parse the source."""
+        captured = {}
+
+        with serving(tmp_path) as (server, client):
+            original_map = server.pool.map
+
+            def capturing_map(fn, tasks, chunksize=None):
+                captured["requests"] = list(tasks)
+                return original_map(fn, tasks, chunksize=chunksize)
+
+            server.pool.map = capturing_map
+            try:
+                assert client.compile(workload="crc32",
+                                      **FAST)["name"] == "crc32"
+            finally:
+                server.pool.map = original_map
+        from repro.ir.wire import from_wire
+        from repro.workloads import get_workload
+
+        wire = captured["requests"][0].get("_wire")
+        assert isinstance(wire, bytes)
+        decoded = from_wire(wire)
+        assert decoded.name == get_workload("crc32").function().name
+
+    def test_wire_path_bytes_match_direct_compile(self, tmp_path):
+        """Server responses (computed from the wire form) must be
+        byte-identical to compile_local (which re-builds from source)."""
+        from repro.service.client import compile_local
+
+        request = build_compile_request(workload="bitcount", setup="select",
+                                        **FAST)
+        _envelope, direct = compile_local(request)
+        with serving(tmp_path) as (_server, client):
+            reply = client.compile_request(request)
+            assert reply.ok
+            assert reply.body == direct
+
+    def test_corrupt_wire_falls_back_to_source(self):
+        from repro.service.protocol import normalize_request
+        from repro.service.server import execute_request
+
+        request = normalize_request(
+            build_compile_request(workload="bitcount", **FAST))
+        clean = execute_request(dict(request))
+        poisoned = dict(request)
+        poisoned["_wire"] = b"garbage"
+        assert execute_request(poisoned) == clean
