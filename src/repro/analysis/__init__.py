@@ -26,6 +26,7 @@ from repro.analysis.pressure import (
     loop_pressure_regions,
 )
 from repro.analysis.adjacency import AdjacencyGraph, build_adjacency
+from repro.analysis.batched import batched_liveness, prewarm_corpus
 from repro.analysis.cache import (
     analysis_cache_stats,
     clear_analysis_cache,
@@ -57,6 +58,8 @@ __all__ = [
     "estimate_block_frequencies",
     "AdjacencyGraph",
     "build_adjacency",
+    "batched_liveness",
+    "prewarm_corpus",
     "split_webs",
     "analysis_cache_stats",
     "clear_analysis_cache",

@@ -186,13 +186,31 @@ def build_adjacency(fn: Function, order: str = "src_first", cls: str = "int",
     from repro.analysis.cache import fingerprint_function, memoize_analysis
 
     freq_key = None if freq is None else tuple(sorted(freq.items()))
-    key = ("adjacency", order, cls, freq_key, fingerprint_function(fn))
-    graph = memoize_analysis(key, lambda: _build_adjacency(fn, order, cls, freq))
+    fp = fingerprint_function(fn)
+    key = ("adjacency", order, cls, freq_key, fp)
+    graph = memoize_analysis(
+        key, lambda: _build_adjacency(fn, order, cls, freq, fp))
     return graph.copy()
 
 
 def _build_adjacency(fn: Function, order: str, cls: str,
-                     freq: Optional[Mapping[str, float]]) -> AdjacencyGraph:
+                     freq: Optional[Mapping[str, float]],
+                     fp=None) -> AdjacencyGraph:
+    from repro.analysis import batched
+
+    if batched.vectors_enabled():
+        g = batched.adjacency_one(fn, order, cls, freq, fp)
+        if g is not None:
+            return g
+    return _build_adjacency_ref(fn, order, cls, freq)
+
+
+def _build_adjacency_ref(fn: Function, order: str, cls: str,
+                         freq: Optional[Mapping[str, float]]
+                         ) -> AdjacencyGraph:
+    """Object-walking reference builder (the vectorized kernel in
+    :mod:`repro.analysis.batched` must match it exactly, floats
+    included)."""
     g = AdjacencyGraph()
     _, preds = fn.cfg()
     block_seqs: Dict[str, List[Reg]] = {

@@ -35,6 +35,8 @@ __all__ = [
     "fingerprint_cfg",
     "fingerprint_digest",
     "memoize_analysis",
+    "peek_analysis",
+    "MISSING",
     "clear_analysis_cache",
     "analysis_cache_stats",
     "set_analysis_cache_enabled",
@@ -140,6 +142,28 @@ def memoize_analysis(key: Hashable, compute: Callable[[], V]) -> V:
     _cache.move_to_end(key)
     _stats["hits"] += 1
     return hit  # type: ignore[return-value]
+
+
+#: sentinel returned by :func:`peek_analysis` for absent entries (``None``
+#: is a legitimate cached value)
+MISSING = object()
+
+
+def peek_analysis(key: Hashable):
+    """The cached value for ``key`` without computing on a miss.
+
+    Returns :data:`MISSING` when the entry is absent, the key is
+    unhashable, or the cache is disabled.  Does not count as a hit and
+    does not refresh LRU order — this is how the corpus-batched analyses
+    (:mod:`repro.analysis.batched`) decide which functions still need a
+    slot in the stacked computation.
+    """
+    if not _enabled:
+        return MISSING
+    try:
+        return _cache[key]
+    except (KeyError, TypeError):
+        return MISSING
 
 
 def clear_analysis_cache() -> None:

@@ -143,7 +143,47 @@ def build_interference(fn: Function,
 
     ``freq`` (block name -> execution frequency estimate) weights the
     move-coalescing candidates; defaults to weight 1 per move.
+
+    Built graphs are memoized on the function's structural fingerprint
+    plus ``(cls, freq)`` — the iterated allocator rebuilds the same graph
+    after every spill round that changed nothing else, and sweeps repeat
+    whole allocations.  Each call returns a private
+    :meth:`InterferenceGraph.copy`, because simplify/coalesce mutate the
+    graph via :meth:`remove_node`/:meth:`merge`.  A caller-supplied
+    ``liveness`` other than the canonical memoized one bypasses the memo
+    (and the vectorized kernel, which derives liveness itself).
     """
+    from repro.analysis.cache import (MISSING, fingerprint_function,
+                                      memoize_analysis, peek_analysis)
+
+    fp = fingerprint_function(fn)
+    if liveness is not None and liveness is not peek_analysis(("liveness",
+                                                               fp)):
+        return _build_interference_ref(fn, liveness, freq, cls)
+    freq_key = None if freq is None else tuple(sorted(freq.items()))
+    key = ("interference", cls, freq_key, fp)
+    graph = memoize_analysis(
+        key, lambda: _build_interference_impl(fn, freq, cls, fp))
+    return graph.copy()
+
+
+def _build_interference_impl(fn: Function, freq: Optional[Dict[str, float]],
+                             cls: str, fp=None) -> InterferenceGraph:
+    from repro.analysis import batched
+
+    if batched.vectors_enabled():
+        g = batched.interference_one(fn, freq, cls, fp)
+        if g is not None:
+            return g
+    return _build_interference_ref(fn, None, freq, cls)
+
+
+def _build_interference_ref(fn: Function,
+                            liveness: Optional[LivenessInfo],
+                            freq: Optional[Dict[str, float]],
+                            cls: str) -> InterferenceGraph:
+    """Object-walking reference builder (the vectorized kernel in
+    :mod:`repro.analysis.batched` must match it exactly)."""
     if liveness is None:
         liveness = compute_liveness(fn)
     g = InterferenceGraph()

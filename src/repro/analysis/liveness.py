@@ -60,11 +60,28 @@ def compute_liveness(fn: Function) -> LivenessInfo:
     same function at several stages, and sweeps re-analyse identical
     copies.  The returned object is shared between hits — treat it as
     read-only (every set in it is frozen).
+
+    When numpy is available the result is produced by the vectorized
+    bitset kernel (:mod:`repro.analysis.batched`), which is exactly
+    equivalent; set ``REPRO_NO_ANALYSIS_VECTOR=1`` to force the
+    object-walking reference below.  Whole corpora should go through
+    :func:`repro.analysis.batched.batched_liveness`, which stacks every
+    function into one fixed point and warms this memo.
     """
     from repro.analysis.cache import fingerprint_function, memoize_analysis
 
-    key = ("liveness", fingerprint_function(fn))
-    return memoize_analysis(key, lambda: _compute_liveness(fn))
+    fp = fingerprint_function(fn)
+    return memoize_analysis(("liveness", fp), lambda: _liveness_impl(fn, fp))
+
+
+def _liveness_impl(fn: Function, fp=None) -> LivenessInfo:
+    from repro.analysis import batched
+
+    if batched.vectors_enabled():
+        info = batched.liveness_one(fn, fp)
+        if info is not None:
+            return info
+    return _compute_liveness(fn)
 
 
 def _compute_liveness(fn: Function) -> LivenessInfo:

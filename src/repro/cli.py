@@ -444,7 +444,8 @@ def _cmd_bench_remap(args) -> int:
           f"{remap['speedup']:.1f}x vs reference "
           f"(identical={remap['identical_results']})")
     print(f"RegN sweep ({len(sweep['workloads'])} workloads, "
-          f"{sweep['cpus']} cpus): jobs " + "  ".join(
+          f"{sweep['cpus']} cpus, {sweep['effective_workers']} effective "
+          f"workers at jobs={sweep['jobs']}): jobs " + "  ".join(
               f"{e['jobs']}={e['speedup']:.2f}x"
               for e in sweep["jobs_sweep"]) +
           f" vs serial (identical={sweep['identical_results']})")
@@ -469,6 +470,26 @@ def _cmd_bench_sim(args) -> int:
           f"(identical={sim['identical_results']})")
     print(f"written to {args.out}")
     return 0 if sim["identical_results"] else 1
+
+
+def _cmd_bench_analysis(args) -> int:
+    from repro.benchtrack import (collect_analysis_benchmarks,
+                                  write_bench_json)
+
+    doc = write_bench_json(args.out, doc=collect_analysis_benchmarks(
+        n_workloads=args.workloads, repeats=args.repeats))
+    ana = doc["analysis"]
+    stages = ana["stages"]
+    print(f"analysis kernels ({ana['functions']} functions, "
+          f"{ana['instructions']} instructions, corpus-batched): "
+          f"{ana['speedup']:.2f}x vs reference "
+          f"(identical={ana['identical_results']})")
+    print("  " + "  ".join(f"{name}={s['speedup']:.2f}x"
+                           for name, s in stages.items()) +
+          f"  views={1e3 * ana['views_seconds']:.2f}ms "
+          f"(cold {ana['cold_speedup']:.2f}x)")
+    print(f"written to {args.out}")
+    return 0 if ana["identical_results"] else 1
 
 
 def _fuzz_config_from_args(args):
@@ -573,7 +594,8 @@ def _cmd_serve(args) -> int:
     if jobs is None:
         return 2
     store = ArtifactStore(args.store or default_store_root(),
-                          max_bytes=args.cache_bytes)
+                          max_bytes=args.cache_bytes,
+                          hot_entries=args.hot_entries)
     server = ServiceServer(
         args.host, args.port, store=store, jobs=jobs,
         queue_limit=args.queue_limit, max_batch=args.max_batch,
@@ -687,6 +709,11 @@ def _cmd_loadtest(args) -> int:
           f"p99 {lt['p99_ms']:.1f}")
     print(f"  cache: {lt['hits']} hits / {lt['misses']} misses "
           f"(hit rate {100 * lt['hit_rate']:.0f}%)  errors {lt['errors']}")
+    workers = lt.get("effective_workers")
+    if workers is not None:
+        print(f"  pool: {workers} effective worker(s) "
+              f"(requested jobs={lt['jobs']})" if lt["jobs"] is not None
+              else f"  pool: {workers} effective worker(s)")
     print(f"written to {args.out}")
     return 0 if lt["errors"] == 0 else 1
 
@@ -891,6 +918,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "$REPRO_SERVICE_STORE or ~/.cache/repro/service)")
     p.add_argument("--cache-bytes", type=int, default=64 * 1024 * 1024,
                    help="artifact store size cap; LRU-evicted beyond it")
+    p.add_argument("--hot-entries", type=int, default=128,
+                   help="in-memory hot-tier entry cap in front of the "
+                        "store (0 disables it; hit/miss counters in "
+                        "/statsz)")
     p.add_argument("--queue-limit", type=int, default=64,
                    help="bounded compile queue; beyond it requests get "
                         "429 + Retry-After")
@@ -1005,6 +1036,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--restarts", type=int, default=5,
                    help="remap restarts for the (untimed) allocations")
     p.set_defaults(func=_cmd_bench_sim)
+
+    p = sub.add_parser("bench-analysis",
+                       help="time the corpus-batched numpy analysis "
+                            "kernels (liveness/interference/adjacency) "
+                            "against the object-walking reference; write "
+                            "BENCH_analysis.json")
+    p.add_argument("--out", default="BENCH_analysis.json",
+                   help="output JSON path")
+    p.add_argument("--workloads", type=int, default=0,
+                   help="number of MIBENCH kernels (0 = all)")
+    p.add_argument("--repeats", type=int, default=30,
+                   help="timing runs per stage (best-of)")
+    p.set_defaults(func=_cmd_bench_analysis)
 
     return parser
 

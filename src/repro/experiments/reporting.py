@@ -3,8 +3,7 @@
 The single entry point for everything report-shaped: the
 :class:`Table`/mean helpers the experiment harnesses share, and
 :func:`generate_report`, the combined reproduction report behind
-``python -m repro report``.  (:mod:`repro.experiments.report` is a
-deprecated alias kept for one release.)
+``python -m repro report``.
 """
 
 from __future__ import annotations

@@ -123,7 +123,9 @@ class _IRCState:
                 self.adj_list[r] = set()
                 self.move_list[r] = set()
         for a in graph.nodes():
-            for b in graph.neighbors(a):
+            # sorted: the insertion order of adj_list/worklist entries
+            # must not depend on the neighbor sets' iteration order
+            for b in sorted(graph.neighbors(a)):
                 self.add_edge(a, b)
         for instr in self.fn.instructions():
             if instr.is_move() and instr.dst.cls == self.cls \

@@ -167,7 +167,10 @@ def _solve_ilp(fn: Function, k: int, pts: _Points,
         w = freq.get(b.name, 1.0)
         for j, instr in enumerate(b.instrs):
             defs = set(instr.defs())
-            for v in pts.live_at[(b.name, j)]:
+            # sorted: variable/constraint order must not depend on set
+            # iteration order, or the solver's tie-breaks vary with the
+            # process hash seed
+            for v in sorted(pts.live_at[(b.name, j)]):
                 if v not in pts.live_at[(b.name, j + 1)]:
                     continue  # value dies: no transition cost
                 if v in defs:
@@ -205,7 +208,7 @@ def _solve_ilp(fn: Function, k: int, pts: _Points,
     for (block, j), live in pts.live_at.items():
         if not live:
             continue
-        for v in live:
+        for v in sorted(live):
             add_entry(row, x_index[(v, block, j)], 1.0)
         lb.append(-np.inf)
         ub.append(float(k - pts.phys_pressure(block, j)))
@@ -234,7 +237,7 @@ def _solve_ilp(fn: Function, k: int, pts: _Points,
     for p in fn.blocks:
         np_ = len(p.instrs)
         for s in succs[p.name]:
-            for v in pts.live_at[(s, 0)]:
+            for v in sorted(pts.live_at[(s, 0)]):
                 kp = (v, p.name, np_)
                 ks = (v, s, 0)
                 if kp not in x_index or ks not in x_index:
@@ -278,7 +281,7 @@ def _solve_ilp(fn: Function, k: int, pts: _Points,
     for b in fn.blocks:
         n = len(b.instrs)
         for j in range(n + 1):
-            for v in pts.live_at[(b.name, j)]:
+            for v in sorted(pts.live_at[(b.name, j)]):
                 vec = residence.setdefault(v, {}).setdefault(
                     b.name, [False] * (n + 1)
                 )
@@ -337,7 +340,7 @@ def _solve_greedy(fn: Function, k: int, pts: _Points,
         spilled.add(victim)
 
     residence: Dict[Reg, Dict[str, List[bool]]] = {}
-    for v in spilled:
+    for v in sorted(spilled):
         vecs: Dict[str, List[bool]] = {}
         for b in fn.blocks:
             n = len(b.instrs)
@@ -376,7 +379,9 @@ def residence_plan_cost(fn: Function, plan: ResidencePlan,
         n = len(b.instrs)
         for j, instr in enumerate(b.instrs):
             defs = set(instr.defs())
-            for v in pts.live_at[(b.name, j)]:
+            # sorted: the objective is a float sum, and addition order
+            # must not depend on set iteration order
+            for v in sorted(pts.live_at[(b.name, j)]):
                 if v not in pts.live_at[(b.name, j + 1)]:
                     continue
                 pre = plan.is_resident(v, b.name, j)
@@ -388,7 +393,7 @@ def residence_plan_cost(fn: Function, plan: ResidencePlan,
                 elif pre and not post:
                     total += w * store_cost
         # block-entry reloads when some predecessor leaves the value in memory
-        for v in pts.live_at[(b.name, 0)]:
+        for v in sorted(pts.live_at[(b.name, 0)]):
             if not plan.is_resident(v, b.name, 0) or v not in plan.spilled:
                 continue
             ps = preds[b.name]

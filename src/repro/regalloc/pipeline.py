@@ -165,6 +165,14 @@ def run_setup(fn: Function, setup: str,
     repairs the static verifier proves redundant or dead are deleted
     before verification.
     """
+    from repro.analysis.batched import prewarm_corpus
+
+    # one vectorized analysis pass over a corpus of one: the liveness and
+    # first-round interference memos every allocator below starts from
+    # are warmed up front (a no-op when a batch caller — the service
+    # dispatcher, experiment grids — already prewarmed this function)
+    prewarm_corpus([fn])
+
     config = EncodingConfig(reg_n=reg_n, diff_n=diff_n, access_order=access_order)
     encoded: Optional[EncodedFunction] = None
 

@@ -137,6 +137,12 @@ def run_loadtest(host: str = "127.0.0.1", port: int = 8421, *,
                 if hits + misses else 0.0,
                 "spawned": spawn,
                 "jobs": jobs if spawn else None,
+                # the cpu-clamped worker count actually serving requests
+                # — the same field (and clamp) bench_sweep reports, read
+                # from the server's own pool when reachable
+                "effective_workers":
+                    statsz["pool"].get("max_workers")
+                    if statsz and "pool" in statsz else None,
                 "statsz": statsz,
             },
         }

@@ -18,6 +18,12 @@ Robustness rules:
   several server processes sharing one root) can never interleave bytes.
 * **Bounded.**  A byte-size cap enforced by least-recently-used eviction;
   a hit refreshes the artifact's mtime, which is the recency clock.
+* **Hot tier.**  A small in-memory LRU dict (``hot_entries`` response
+  bodies) sits in front of the disk: artifacts are content-addressed and
+  immutable, so a hot entry can never go stale, and repeat traffic for
+  the same key skips the open/parse/checksum entirely.  ``hot_hits`` /
+  ``hot_misses`` counters surface in :meth:`ArtifactStore.stats` (and
+  through the server's ``/statsz``).
 """
 
 from __future__ import annotations
@@ -27,14 +33,20 @@ import itertools
 import json
 import os
 import threading
+from collections import OrderedDict
 from typing import Dict, Iterator, List, Optional, Tuple
 
-__all__ = ["ArtifactStore", "default_store_root", "DEFAULT_MAX_BYTES"]
+__all__ = ["ArtifactStore", "default_store_root", "DEFAULT_MAX_BYTES",
+           "DEFAULT_HOT_ENTRIES"]
 
 #: Format of the on-disk wrapper, independent of the protocol schema.
 STORE_VERSION = 1
 
 DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+#: Hot-tier entry cap.  Responses are a few KB, so the default keeps the
+#: tier well under a megabyte; 0 disables the tier.
+DEFAULT_HOT_ENTRIES = 128
 
 _tmp_counter = itertools.count()
 
@@ -52,13 +64,22 @@ class ArtifactStore:
     """A directory of response artifacts addressed by content key."""
 
     def __init__(self, root: str,
-                 max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+                 max_bytes: int = DEFAULT_MAX_BYTES,
+                 hot_entries: int = DEFAULT_HOT_ENTRIES) -> None:
         if max_bytes <= 0:
             raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        if hot_entries < 0:
+            raise ValueError(
+                f"hot_entries must be >= 0, got {hot_entries}")
         self.root = root
         self.max_bytes = max_bytes
+        self.hot_entries = hot_entries
         self._objects = os.path.join(root, "objects")
         self._lock = threading.Lock()
+        self._hot: "OrderedDict[str, bytes]" = OrderedDict()
+        self._hot_lock = threading.Lock()
+        self.hot_hits = 0    # gets served from the in-memory tier
+        self.hot_misses = 0  # gets that had to consult the disk
         self.corrupt_dropped = 0  # artifacts discarded by validation
         os.makedirs(self._objects, exist_ok=True)
 
@@ -96,13 +117,36 @@ class ArtifactStore:
     # get / put
     # ------------------------------------------------------------------
 
+    def _hot_get(self, key: str) -> Optional[bytes]:
+        with self._hot_lock:
+            data = self._hot.get(key)
+            if data is not None:
+                self._hot.move_to_end(key)
+                self.hot_hits += 1
+            else:
+                self.hot_misses += 1
+            return data
+
+    def _hot_put(self, key: str, data: bytes) -> None:
+        if not self.hot_entries:
+            return
+        with self._hot_lock:
+            self._hot[key] = data
+            self._hot.move_to_end(key)
+            while len(self._hot) > self.hot_entries:
+                self._hot.popitem(last=False)
+
     def get(self, key: str) -> Optional[bytes]:
         """The cached response bytes for ``key``, or ``None``.
 
+        The in-memory hot tier answers first; a disk hit back-fills it.
         Truncated, garbage, mis-keyed or checksum-failing artifacts are
         unlinked and reported as misses — the caller recomputes and the
         rewrite repairs the store.
         """
+        hot = self._hot_get(key)
+        if hot is not None:
+            return hot
         path = self._path(key)
         try:
             with open(path, "r", encoding="ascii") as fh:
@@ -126,6 +170,7 @@ class ArtifactStore:
             self._unlink(path)
             return None
         self._touch(path)
+        self._hot_put(key, data)
         return data
 
     def put(self, key: str, body: bytes) -> None:
@@ -143,6 +188,7 @@ class ArtifactStore:
         with open(tmp, "w", encoding="ascii") as fh:
             json.dump(wrapper, fh)
         os.replace(tmp, path)
+        self._hot_put(key, body)
         self._evict()
 
     # ------------------------------------------------------------------
@@ -169,18 +215,29 @@ class ArtifactStore:
                     total -= size
 
     def stats(self) -> Dict[str, object]:
-        """Disk-side stats: entry count, byte total, cap, root."""
+        """Store stats: disk entry count, byte total, cap, root, plus the
+        hot tier's size and hit/miss counters."""
         entries = list(self._entries())
+        with self._hot_lock:
+            hot_entries = len(self._hot)
+            hot_hits, hot_misses = self.hot_hits, self.hot_misses
         return {
             "root": self.root,
             "entries": len(entries),
             "bytes": sum(size for _, size, _ in entries),
             "max_bytes": self.max_bytes,
             "corrupt_dropped": self.corrupt_dropped,
+            "hot_entries": hot_entries,
+            "hot_max_entries": self.hot_entries,
+            "hot_hits": hot_hits,
+            "hot_misses": hot_misses,
         }
 
     def clear(self) -> int:
-        """Delete every artifact; returns how many were removed."""
+        """Delete every artifact (and empty the hot tier); returns how
+        many disk artifacts were removed."""
+        with self._hot_lock:
+            self._hot.clear()
         removed = 0
         for path, _size, _mtime in list(self._entries()):
             if self._unlink(path):

@@ -38,16 +38,11 @@ class TestReport:
                             include_alternatives=False)
         assert normalize(a) == normalize(b)
 
-    def test_report_module_is_a_deprecated_alias(self):
-        import importlib
-
-        import repro.experiments.report as report_mod
-        import repro.experiments.reporting as reporting_mod
-
-        with pytest.warns(DeprecationWarning, match="reporting"):
-            report_mod = importlib.reload(report_mod)
-        assert report_mod.generate_report is reporting_mod.generate_report
-        assert report_mod.Table is reporting_mod.Table
+    def test_deprecated_report_alias_is_gone(self):
+        """``repro.experiments.report`` completed its deprecation cycle;
+        ``repro.experiments.reporting`` is the only module."""
+        with pytest.raises(ImportError):
+            import repro.experiments.report  # noqa: F401
 
     def test_cli_report_to_file(self, tmp_path, capsys, monkeypatch):
         from repro.cli import main

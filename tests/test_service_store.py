@@ -44,8 +44,10 @@ class TestRoundTrip:
         store.put(KEY_B, b"y")
         stats = store.stats()
         assert stats["entries"] == 2 and stats["bytes"] > 0
+        assert stats["hot_entries"] == 2
         assert store.clear() == 2
-        assert store.stats() == {**stats, "entries": 0, "bytes": 0}
+        assert store.stats() == {**stats, "entries": 0, "bytes": 0,
+                                 "hot_entries": 0}
 
     def test_rejects_nonpositive_cap(self, tmp_path):
         with pytest.raises(ValueError):
@@ -61,7 +63,18 @@ class TestRoundTrip:
 
 class TestCorruption:
     """ISSUE: truncated or garbage artifacts are treated as misses,
-    recomputed and rewritten, never crash the server."""
+    recomputed and rewritten, never crash the server.
+
+    These tests target the disk validation path, so the in-memory hot
+    tier (which would otherwise keep serving the pre-corruption bytes —
+    artifacts are content-addressed and immutable, so that is correct
+    behaviour, tested separately in :class:`TestHotTier`) is disabled.
+    """
+
+    @pytest.fixture
+    def store(self, tmp_path):
+        return ArtifactStore(str(tmp_path / "store"), max_bytes=1 << 20,
+                             hot_entries=0)
 
     def _corrupt(self, store, key, raw):
         path = _artifact_path(store, key)
@@ -107,9 +120,11 @@ class TestCorruption:
 
 class TestEviction:
     def test_lru_by_access_time(self, tmp_path):
-        # cap fits roughly two wrappers of this body size
+        # cap fits roughly two wrappers of this body size; hot tier off
+        # so every get consults (and mtime-refreshes) the disk artifact
         body = b"x" * 200
-        store = ArtifactStore(str(tmp_path / "s"), max_bytes=900)
+        store = ArtifactStore(str(tmp_path / "s"), max_bytes=900,
+                              hot_entries=0)
         store.put(KEY_A, body)
         store.put(KEY_B, body)
         # pin explicit mtimes so recency is deterministic, then read A to
@@ -156,3 +171,68 @@ class TestEviction:
         # after the last put's eviction pass the total is within the cap
         assert store.stats()["bytes"] <= cap
         assert store.stats()["entries"] >= 1
+
+
+class TestHotTier:
+    """ISSUE: a small in-memory LRU in front of the disk serves repeat
+    traffic without the open/parse/checksum, with hit/miss counters."""
+
+    def test_put_backfills_and_get_hits_memory(self, store):
+        store.put(KEY_A, b"body")
+        # the artifact can vanish from disk entirely; content-addressed
+        # bodies are immutable, so the hot entry is still authoritative
+        os.unlink(_artifact_path(store, KEY_A))
+        assert store.get(KEY_A) == b"body"
+        stats = store.stats()
+        assert stats["hot_hits"] == 1
+        assert stats["hot_misses"] == 0
+        assert stats["corrupt_dropped"] == 0
+
+    def test_disk_hit_backfills_hot_tier(self, tmp_path):
+        root = str(tmp_path / "store")
+        ArtifactStore(root).put(KEY_A, b"body")
+        store = ArtifactStore(root)  # fresh process: cold hot tier
+        assert store.get(KEY_A) == b"body"   # disk read, back-fills
+        assert store.get(KEY_A) == b"body"   # served from memory
+        stats = store.stats()
+        assert stats["hot_misses"] == 1
+        assert stats["hot_hits"] == 1
+
+    def test_lru_eviction_at_entry_cap(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "s"), hot_entries=2)
+        store.put(KEY_A, b"a")
+        store.put(KEY_B, b"b")
+        assert store.get(KEY_A) == b"a"  # refresh A: B is now LRU
+        store.put(KEY_C, b"c")           # evicts B from the hot tier
+        assert store.stats()["hot_entries"] == 2
+        assert store.get(KEY_B) == b"b"  # still on disk
+        stats = store.stats()
+        assert stats["hot_misses"] == 1
+        assert stats["hot_entries"] == 2  # B back-filled, A evicted
+
+    def test_zero_entries_disables_tier(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "s"), hot_entries=0)
+        store.put(KEY_A, b"body")
+        assert store.get(KEY_A) == b"body"
+        stats = store.stats()
+        assert stats["hot_entries"] == 0
+        assert stats["hot_max_entries"] == 0
+        assert stats["hot_hits"] == 0
+        assert stats["hot_misses"] == 1  # the get probed, found nothing
+
+    def test_rejects_negative_entry_cap(self, tmp_path):
+        with pytest.raises(ValueError):
+            ArtifactStore(str(tmp_path / "s"), hot_entries=-1)
+
+    def test_fresh_store_sees_disk_corruption(self, tmp_path):
+        """A new process (cold tier) over a corrupted root still takes
+        the validate-drop-recompute path."""
+        root = str(tmp_path / "store")
+        warm = ArtifactStore(root)
+        warm.put(KEY_A, b"body")
+        with open(_artifact_path(warm, KEY_A), "wb") as fh:
+            fh.write(b"\x00garbage")
+        assert warm.get(KEY_A) == b"body"  # hot tier masks the damage
+        cold = ArtifactStore(root)
+        assert cold.get(KEY_A) is None
+        assert cold.corrupt_dropped == 1
