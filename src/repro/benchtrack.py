@@ -28,8 +28,9 @@ import time
 from typing import Dict, Optional, Sequence
 
 __all__ = ["bench_remap_descent", "bench_sweep", "bench_sim",
-           "bench_wire", "bench_analysis", "collect_benchmarks",
-           "collect_sim_benchmarks", "collect_analysis_benchmarks",
+           "bench_wire", "bench_analysis", "bench_moves",
+           "collect_benchmarks", "collect_sim_benchmarks",
+           "collect_analysis_benchmarks", "collect_moves_benchmarks",
            "write_bench_json"]
 
 BENCH_SCHEMA = 1
@@ -283,6 +284,122 @@ def bench_sim(n_workloads: int = 15,
     }
 
 
+def bench_moves(n_workloads: int = 8,
+                setups: Sequence[str] = ("select", "coalesce"),
+                remap_restarts: int = 3,
+                gap_workloads: int = 3,
+                gap_reg_n: int = 6,
+                gap_diff_n: int = 4,
+                gap_restarts: int = 20) -> Dict[str, object]:
+    """Measure the parallel-move resolver and the exact-remap calibration.
+
+    Three sections.  ``resolver``: every workload × setup is allocated
+    three ways — resolver disabled (``REPRO_NO_MOVE_RESOLVER=1``),
+    resolver on, and resolver on with the ``permi`` machine feature
+    (``LOWEND_PERMI``) — and each result is simulated at ``bench_args``
+    scale.  The acceptance invariant is recorded per row: with the
+    resolver on, the ``CycleReport`` must be bit-identical-or-better
+    (the rewrite only fires when strictly shorter).  ``remap_gap``:
+    :func:`repro.regalloc.remap.remap_optimality_gap` calibrates the
+    greedy descent against the exact branch-and-bound optimum at a
+    small RegN, per workload.  ``decoder``: the differential decoder's
+    gate/delay envelope next to the ``permi`` crossbar's, so the cost
+    of the machine flag stays on the trajectory.
+    """
+    import os
+
+    from repro.encoding.config import EncodingConfig
+    from repro.machine.decoder import DecoderCostModel
+    from repro.machine.lowend import simulate
+    from repro.machine.spec import LOWEND_PERMI
+    from repro.regalloc.iterated import iterated_allocate
+    from repro.regalloc.moves import NO_RESOLVER_ENV
+    from repro.regalloc.pipeline import run_setup
+    from repro.regalloc.remap import remap_optimality_gap
+    from repro.workloads import MIBENCH
+
+    workloads = MIBENCH[:n_workloads]
+
+    def allocate(fn, setup, machine=None, disabled=False):
+        old = os.environ.get(NO_RESOLVER_ENV)
+        try:
+            if disabled:
+                os.environ[NO_RESOLVER_ENV] = "1"
+            else:
+                os.environ.pop(NO_RESOLVER_ENV, None)
+            return run_setup(fn, setup, base_k=8, reg_n=12, diff_n=8,
+                             remap_restarts=remap_restarts, use_ilp=False,
+                             machine=machine)
+        finally:
+            if old is None:
+                os.environ.pop(NO_RESOLVER_ENV, None)
+            else:
+                os.environ[NO_RESOLVER_ENV] = old
+
+    rows = []
+    for w in workloads:
+        fn = w.function()
+        for setup in setups:
+            off = allocate(fn, setup, disabled=True)
+            on = allocate(fn, setup)
+            permi = allocate(fn, setup, machine=LOWEND_PERMI)
+            _, rep_off = simulate(off.final_fn, w.bench_args)
+            _, rep_on = simulate(on.final_fn, w.bench_args)
+            _, rep_permi = simulate(permi.final_fn, w.bench_args,
+                                    LOWEND_PERMI)
+            s, sp = on.allocation.stats, permi.allocation.stats
+            rows.append({
+                "workload": w.name,
+                "setup": setup,
+                "runs_seen": s.get("moves_runs_seen", 0.0),
+                "runs_rewritten": s.get("moves_runs_rewritten", 0.0),
+                "instructions_saved":
+                    s.get("moves_instructions_saved", 0.0),
+                "permis": sp.get("moves_permis", 0.0),
+                "cycles_off": rep_off.cycles,
+                "cycles_on": rep_on.cycles,
+                "cycles_permi": rep_permi.cycles,
+                "identical_or_better": rep_on.cycles <= rep_off.cycles,
+            })
+
+    gaps = []
+    for w in workloads[:gap_workloads]:
+        alloc = iterated_allocate(w.function(), gap_reg_n)
+        gap = remap_optimality_gap(alloc.fn, gap_reg_n, gap_diff_n,
+                                   restarts=gap_restarts)
+        gaps.append({"workload": w.name, "reg_n": gap_reg_n,
+                     "diff_n": gap_diff_n, **gap})
+
+    model = DecoderCostModel(EncodingConfig(reg_n=12, diff_n=8))
+    diff_est, permi_est = model.estimate(), model.permi_estimate()
+
+    def envelope(est) -> Dict[str, float]:
+        return {"gate_count": est.gate_count,
+                "transistor_count": est.transistor_count,
+                "logic_levels": est.logic_levels,
+                "delay_ns": est.delay_ns}
+
+    return {
+        "workloads": [w.name for w in workloads],
+        "setups": list(setups),
+        "resolver": rows,
+        "totals": {
+            "runs_rewritten": sum(r["runs_rewritten"] for r in rows),
+            "instructions_saved":
+                sum(r["instructions_saved"] for r in rows),
+            "permis": sum(r["permis"] for r in rows),
+            "cycles_off": sum(r["cycles_off"] for r in rows),
+            "cycles_on": sum(r["cycles_on"] for r in rows),
+            "cycles_permi": sum(r["cycles_permi"] for r in rows),
+        },
+        "remap_gap": gaps,
+        "max_gap": max((g["gap"] for g in gaps), default=0.0),
+        "decoder": {"differential": envelope(diff_est),
+                    "permi_crossbar": envelope(permi_est)},
+        "identical_results": all(r["identical_or_better"] for r in rows),
+    }
+
+
 def _bits(x: float) -> bytes:
     """IEEE-754 image of ``x`` — equality down to the last bit."""
     return struct.pack("<d", x)
@@ -452,6 +569,14 @@ def collect_sim_benchmarks(**kwargs) -> Dict[str, object]:
     return {
         "schema": BENCH_SCHEMA,
         "sim": bench_sim(**kwargs),
+    }
+
+
+def collect_moves_benchmarks(**kwargs) -> Dict[str, object]:
+    """The move-resolver measurements as one JSON-ready document."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "moves": bench_moves(**kwargs),
     }
 
 

@@ -492,6 +492,36 @@ def _cmd_bench_analysis(args) -> int:
     return 0 if ana["identical_results"] else 1
 
 
+def _cmd_bench_moves(args) -> int:
+    from repro.benchtrack import collect_moves_benchmarks, write_bench_json
+
+    doc = write_bench_json(args.out, doc=collect_moves_benchmarks(
+        n_workloads=args.workloads, remap_restarts=args.restarts,
+        gap_workloads=args.gap_workloads, gap_restarts=args.gap_restarts))
+    moves = doc["moves"]
+    totals, dec = moves["totals"], moves["decoder"]
+    print(f"move resolver ({len(moves['workloads'])} workloads x "
+          f"{len(moves['setups'])} setups): "
+          f"{totals['runs_rewritten']:.0f} runs rewritten, "
+          f"{totals['instructions_saved']:.0f} instructions saved, "
+          f"{totals['permis']:.0f} permis; cycles "
+          f"{totals['cycles_off']:.0f} -> {totals['cycles_on']:.0f} "
+          f"(permi {totals['cycles_permi']:.0f}, "
+          f"identical-or-better={moves['identical_results']})")
+    print(f"remap optimality gap (RegN={moves['remap_gap'][0]['reg_n']}, "
+          f"{len(moves['remap_gap'])} workloads): "
+          f"max gap {moves['max_gap']:.0f}  " + "  ".join(
+              f"{g['workload']}={g['gap']:.0f}"
+              for g in moves["remap_gap"]))
+    print(f"decoder envelope: differential "
+          f"{dec['differential']['gate_count']} gates / "
+          f"{dec['differential']['delay_ns']:.2f}ns, permi crossbar "
+          f"{dec['permi_crossbar']['gate_count']} gates / "
+          f"{dec['permi_crossbar']['delay_ns']:.2f}ns")
+    print(f"written to {args.out}")
+    return 0 if moves["identical_results"] else 1
+
+
 def _fuzz_config_from_args(args):
     from repro.fuzz import FuzzConfig
 
@@ -584,6 +614,38 @@ def _cmd_fuzz_gen(args) -> int:
     print(format_function(
         generate_fuzz_function(args.seed, _fuzz_config_from_args(args))))
     return 0
+
+
+def _cmd_fuzz_moves(args) -> int:
+    from repro.fuzz.moves import (format_moves_failure, generate_moves_case,
+                                  run_explicit_case, run_moves_fuzz,
+                                  shrink_moves_case)
+
+    if args.replay is not None:
+        outcome = run_explicit_case(args.replay,
+                                    generate_moves_case(args.replay))
+        if not outcome["failures"]:
+            print(f"moves case seed={args.replay}: all oracles agree")
+            return 0
+        print(format_moves_failure(outcome))
+        return 1
+
+    jobs = _resolve_cli_jobs(args)
+    if jobs is None:
+        return 2
+    report = run_moves_fuzz(args.seed, args.cases, jobs=jobs)
+    print(report.summary())
+    if report.ok:
+        return 0
+    first = report.failures[0]
+    shrunk = shrink_moves_case(int(first["seed"]), first["case"])
+    text = format_moves_failure(first, shrunk)
+    print(text)
+    if args.repro_out:
+        with open(args.repro_out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"minimized reproducer written to {args.repro_out}")
+    return 1
 
 
 def _cmd_serve(args) -> int:
@@ -906,6 +968,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fuzz_knobs(fp)
     fp.set_defaults(func=_cmd_fuzz_gen)
 
+    fp = fuzz_sub.add_parser("moves",
+                             help="targeted fuzzing of the parallel-move "
+                                  "resolver (random partial permutations "
+                                  "through five oracles)")
+    fp.add_argument("--cases", type=int, default=200,
+                    help="number of generated move cases")
+    fp.add_argument("--replay", type=int, default=None, metavar="SEED",
+                    help="replay one case from its derived seed")
+    fp.add_argument("--repro-out", default="",
+                    help="write the minimized reproducer of the first "
+                         "failure to this file (CI artifact)")
+    _add_parallel_args(fp)
+    fp.set_defaults(func=_cmd_fuzz_moves)
+
     p = sub.add_parser("serve",
                        help="run the allocation service: a batching "
                             "compile daemon with a content-addressed "
@@ -1049,6 +1125,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeats", type=int, default=30,
                    help="timing runs per stage (best-of)")
     p.set_defaults(func=_cmd_bench_analysis)
+
+    p = sub.add_parser("bench-moves",
+                       help="measure the parallel-move resolver "
+                            "(resolver off/on/permi over mibench, "
+                            "CycleReport parity), the exact-remap "
+                            "optimality gap, and the permi decoder "
+                            "envelope; write BENCH_moves.json")
+    p.add_argument("--out", default="BENCH_moves.json",
+                   help="output JSON path")
+    p.add_argument("--workloads", type=int, default=8,
+                   help="number of MIBENCH kernels")
+    p.add_argument("--restarts", type=int, default=3,
+                   help="remapping restarts per allocation")
+    p.add_argument("--gap-workloads", type=int, default=3,
+                   help="kernels in the optimality-gap calibration")
+    p.add_argument("--gap-restarts", type=int, default=20,
+                   help="greedy restarts in the gap calibration")
+    p.set_defaults(func=_cmd_bench_moves)
 
     return parser
 

@@ -2,7 +2,8 @@
 
 Mutation testing for :mod:`repro.fuzz.checker`: if the symbolic checker is
 to be trusted as the harness's main oracle, it must catch every *real*
-miscompile we can manufacture.  The catalogue covers six distinct classes:
+miscompile we can manufacture.  The catalogue covers seven distinct
+classes:
 
 =============== ======================================================
 kind            corruption
@@ -12,6 +13,10 @@ def-swap        a result is written to a different register
 drop-reload     a spill reload (``ldslot``) is deleted
 drop-store      a spill store (``stslot``) is deleted
 slot-shuffle    a reload reads the wrong spill slot
+move-corrupt    a resolver-emitted register copy is dropped,
+                duplicated at a later offset, or reordered with its
+                neighbour (armed mutants must fall to the symbolic
+                checker or the L010 interference lint)
 setlr-corrupt   a ``set_last_reg`` payload is corrupted or the
                 instruction is misplaced, then the binary is re-decoded
 =============== ======================================================
@@ -51,7 +56,7 @@ __all__ = ["Mutation", "MUTATION_KINDS", "GateResult", "enumerate_mutations",
            "reattach_uids"]
 
 MUTATION_KINDS = ("use-swap", "def-swap", "drop-reload", "drop-store",
-                  "slot-shuffle", "setlr-corrupt")
+                  "slot-shuffle", "move-corrupt", "setlr-corrupt")
 
 _ARGS: Tuple[Tuple[int, ...], ...] = ((0,), (2,), (5,))
 
@@ -229,6 +234,46 @@ def _mutate_slot_shuffle(fn: Function, rng: random.Random,
     return out
 
 
+def _mutate_move_corrupt(fn: Function, rng: random.Random,
+                         limit: int) -> List[Mutation]:
+    """Corrupt one physical register copy the way a buggy parallel-move
+    resolver would: drop it, duplicate it at a later offset, or reorder
+    it with its successor (breaking the safe emission order)."""
+    from repro.ir.instr import Instr
+
+    sites = [(bi, ii) for bi, ii in _sites(fn)
+             if fn.blocks[bi].instrs[ii].op == "mov"
+             and fn.blocks[bi].instrs[ii].dst is not None
+             and not fn.blocks[bi].instrs[ii].dst.virtual
+             and fn.blocks[bi].instrs[ii].srcs
+             and not fn.blocks[bi].instrs[ii].srcs[0].virtual]
+    out: List[Mutation] = []
+    for bi, ii in _pick(rng, sites, limit):
+        for variant in ("drop", "duplicate", "reorder"):
+            m = fn.copy()
+            block = m.blocks[bi]
+            ins = block.instrs[ii]
+            if variant == "drop":
+                block.instrs.pop(ii)
+            elif variant == "duplicate":
+                # fresh uid: the copy is *new* wrong code, not a replay
+                dup = Instr("mov", dst=ins.dst, srcs=ins.srcs)
+                pos = min(ii + 2, max(ii + 1, len(block.instrs) - 1))
+                block.instrs.insert(pos, dup)
+            else:  # reorder with the next instruction
+                if ii + 1 >= len(block.instrs):
+                    continue
+                nxt = block.instrs[ii + 1]
+                if nxt.info.is_branch:
+                    continue
+                block.instrs[ii], block.instrs[ii + 1] = nxt, ins
+            out.append(Mutation(
+                "move-corrupt",
+                f"{block.name}#{ii}: mov {ins.dst} <- {ins.srcs[0]} "
+                f"{variant}", m))
+    return out
+
+
 def _mutate_setlr(enc: EncodedFunction, rng: random.Random,
                   limit: int) -> List[Mutation]:
     """Corrupt ``setlr`` payloads / placement, then re-decode the binary."""
@@ -301,6 +346,8 @@ def enumerate_mutations(prog: AllocatedProgram, base_seed: int = 0,
                                      "drop-store"))
         elif kind == "slot-shuffle":
             muts.extend(_mutate_slot_shuffle(fn, rng, per_kind))
+        elif kind == "move-corrupt":
+            muts.extend(_mutate_move_corrupt(fn, rng, per_kind))
         elif kind == "setlr-corrupt" and prog.encoded is not None:
             muts.extend(_mutate_setlr(prog.encoded, rng, per_kind))
     return muts
@@ -317,7 +364,12 @@ def run_mutation_gate(original: Function, prog: AllocatedProgram,
     are additionally judged by the static verifier
     (:func:`repro.encoding.static_verifier.verify_encoding_static` on the
     corrupted pre-decode encoding); ``static_detection_rate`` must stay
-    1.0 for the static proof layer to be trusted."""
+    1.0 for the static proof layer to be trusted.
+
+    ``move-corrupt`` mutants are judged by the union of the symbolic
+    checker and the L010 allocation-interference lint — the two layers
+    that guard the parallel-move resolver's output — and the gate demands
+    100% detection on the armed set just like every other class."""
     from repro.encoding.static_verifier import verify_encoding_static
 
     result = GateResult()
@@ -327,7 +379,18 @@ def run_mutation_gate(original: Function, prog: AllocatedProgram,
             continue
         result.armed[mut.kind] = result.armed.get(mut.kind, 0) + 1
         report = check_allocation_semantics(original, mut.fn)
-        if report.ok:
+        caught = not report.ok
+        if not caught and mut.kind == "move-corrupt":
+            from repro.lint import LintOptions, run_lint
+
+            lint = run_lint(
+                mut.fn,
+                LintOptions(allocated=True,
+                            coloring=prog.allocation.coloring,
+                            original=prog.allocation.colored_fn),
+                only=("L010",))
+            caught = bool(lint.errors)
+        if not caught:
             result.missed.append(f"{mut.kind}: {mut.detail}")
         else:
             result.caught += 1

@@ -164,14 +164,15 @@ class ColumnarFunction:
                 dst = instr.dst
                 op_append(OP_CODE[opname])
                 uid_append(instr.uid)
-                # inline Instr.defs()/uses(): only ``call`` deviates
-                # from the (dst,) / srcs defaults
+                # inline Instr.defs()/uses(): only ``call`` and ``permi``
+                # deviate from the (dst,) / srcs defaults
                 sids = [reg_id(r) for r in srcs]
-                if opname == "call":
-                    for r in instr.call_defs:
+                if opname == "call" or opname == "permi":
+                    for r in instr.defs():
                         def_reg.append(reg_id(r))
                     use_reg += sids
-                    for r in instr.call_uses:
+                    for r in (instr.call_uses if opname == "call"
+                              else instr.uses()):
                         use_reg.append(reg_id(r))
                 else:
                     if dst is not None:

@@ -21,7 +21,7 @@ from repro.ir.instr import Instr, Reg
 __all__ = ["dead_code_elimination", "copy_propagation", "cleanup"]
 
 _SIDE_EFFECTS = frozenset({"st", "stslot", "br", "ret", "call", "setlr",
-                           "beq", "bne", "blt", "bge", "bgt", "ble"})
+                           "permi", "beq", "bne", "blt", "bge", "bgt", "ble"})
 
 
 def dead_code_elimination(fn: Function, max_rounds: int = 8

@@ -63,6 +63,7 @@ _IMM_NONE = 0
 _IMM_INT = 1
 _IMM_PAIR = 2    # setlr's short (value, delay) payload
 _IMM_TRIPLE = 3  # setlr's full (value, delay, cls) payload; cls interned
+_IMM_INTS = 4    # length-prefixed int tuple (permi's permutation)
 
 #: width-adaptive storage: the narrowest signed array typecode per bound.
 #: Resolved by itemsize at import so platform typecode sizes cannot bite.
@@ -174,6 +175,10 @@ def to_wire(fn: Function) -> bytes:
                     and type(imm[2]) is str:
                 imm_kinds.append(_IMM_TRIPLE)
                 imm_values.extend((imm[0], imm[1], intern(imm[2])))
+            elif type(imm) is tuple and all(type(v) is int for v in imm):
+                imm_kinds.append(_IMM_INTS)
+                imm_values.append(len(imm))
+                imm_values.extend(imm)
             else:
                 raise WireError(
                     f"immediate {imm!r} is outside the wire model "
@@ -355,6 +360,11 @@ def from_wire(data: bytes, preserve_uids: bool = False) -> Function:
                            string_at(imm_values[imm_off + 2],
                                      "setlr class"))
                     imm_off += 3
+                elif kind == _IMM_INTS:
+                    count = imm_values[imm_off]
+                    imm_off += 1
+                    imm = tuple(imm_values[imm_off:imm_off + count])
+                    imm_off += count
                 else:
                     raise WireError(f"unknown immediate kind {kind}")
                 dst_code = dsts[index]

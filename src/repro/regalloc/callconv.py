@@ -92,35 +92,24 @@ def check_convention(fn: Function, cc: CallingConvention) -> List[ConventionViol
 
 
 def _sequence_parallel_moves(wanted: Sequence[Tuple[Reg, Reg]]) -> List[Instr]:
-    """Order argument-setup moves so no source is clobbered first.
+    """Emit argument-setup moves minimally via the parallel-move resolver.
 
-    The moves ``home_i := src_i`` are conceptually parallel.  A move is
-    safe to emit when its destination is not a pending source; iterating
-    this resolves every acyclic dependency.  A residual cycle (a1<->a2
-    swapped into each other's homes) is broken with xor swaps, which need
-    no scratch register.
+    The moves ``home_i := src_i`` are conceptually parallel — exactly the
+    shuffle-code problem :mod:`repro.regalloc.moves` solves.  Acyclic
+    dependencies become plain moves in safe order; residual cycles break
+    with xor-swap triples, which need no scratch register (liveness at a
+    call site is too murky to prove one dead, and the calling convention
+    is machine-independent, so no ``permi`` here either).
     """
-    pending = list(wanted)
+    from repro.regalloc.moves import lower_ops, resolve_parallel_move
+
+    by_cls: Dict[str, Dict[int, int]] = {}
+    for dst, src in wanted:
+        by_cls.setdefault(dst.cls, {})[dst.id] = src.id
     out: List[Instr] = []
-    while pending:
-        emitted = False
-        for i, (dst, src) in enumerate(pending):
-            if any(dst == s for _, s in pending if (_, s) != (dst, src)):
-                continue
-            out.append(Instr("mov", dst=dst, srcs=(src,)))
-            del pending[i]
-            emitted = True
-            break
-        if not emitted:
-            # pure cycle: swap the first pair via xor, then re-examine
-            dst, src = pending.pop(0)
-            out.append(Instr("xor", dst=dst, srcs=(dst, src)))
-            out.append(Instr("xor", dst=src, srcs=(src, dst)))
-            out.append(Instr("xor", dst=dst, srcs=(dst, src)))
-            pending = [
-                (d, dst if s == src else (src if s == dst else s))
-                for d, s in pending
-            ]
+    for cls in sorted(by_cls):
+        resolved = resolve_parallel_move(by_cls[cls])
+        out.extend(lower_ops(resolved.ops, cls=cls))
     return out
 
 

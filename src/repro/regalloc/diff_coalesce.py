@@ -202,6 +202,7 @@ def differential_coalesce_allocate(fn: Function, k: int, diff_n: int,
                                    order: str = "src_first",
                                    use_ilp: bool = True,
                                    join_splitting: bool = False,
+                                   has_permi: bool = False,
                                    freq: Optional[Dict[str, float]] = None
                                    ) -> AllocationResult:
     """The full approach-3 pipeline (paper Section 7).
@@ -209,7 +210,14 @@ def differential_coalesce_allocate(fn: Function, k: int, diff_n: int,
     ``k`` doubles as RegN — the allocator colors with all differentially
     addressable registers; ``diff_n`` shapes the cost model.  ``freq``
     overrides the static block-frequency estimate throughout.
+
+    The residence/join moves that survive coloring are re-emitted
+    minimally by :func:`repro.regalloc.moves.resolve_move_runs`
+    (``REPRO_NO_MOVE_RESOLVER=1`` opts out); ``has_permi`` lets it fold
+    register cycles into one ``permi`` permutation instruction.
     """
+    from repro.regalloc.moves import resolve_move_runs
+
     plan = decide_residence(fn, k, freq=freq, use_ilp=use_ilp)
     split_fn, _ = apply_residence(fn, plan)
     n_splits = 0
@@ -221,6 +229,8 @@ def differential_coalesce_allocate(fn: Function, k: int, diff_n: int,
     selector = DifferentialSelector(k, diff_n, order=order)
     result = iterated_allocate(coalesced_fn, k, selector=selector,
                                freq=dict(freq) if freq else None)
+    move_stats = resolve_move_runs(result.fn, k, has_permi=has_permi)
+    result.stats.update(move_stats.as_stats())
     result.stats.update({
         "coalesce_committed": float(stats.committed),
         "coalesce_move_weight": stats.move_weight_removed,

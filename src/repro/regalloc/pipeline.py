@@ -31,11 +31,13 @@ from repro.regalloc.base import AllocationResult
 from repro.regalloc.diff_coalesce import differential_coalesce_allocate
 from repro.regalloc.diff_select import DifferentialSelector
 from repro.regalloc.iterated import iterated_allocate
+from repro.regalloc.moves import resolve_move_runs
 from repro.regalloc.optimal_spill import optimal_spill_allocate
 from repro.regalloc.remap import differential_remap
 
 if TYPE_CHECKING:  # the verifier is duck-typed at runtime: regalloc never
     from repro.lint import PassVerifier  # imports lint at module level
+    from repro.machine.spec import LowEndConfig
 
 __all__ = ["AllocatedProgram", "run_setup", "SETUPS"]
 
@@ -139,6 +141,7 @@ def run_setup(fn: Function, setup: str,
               remap_seed: int = 0,
               remap_jobs: int = 1,
               setlr_elim: bool = True,
+              machine: Optional["LowEndConfig"] = None,
               ) -> AllocatedProgram:
     """Run one function through one of the five Section 10.1 setups.
 
@@ -164,6 +167,12 @@ def run_setup(fn: Function, setup: str,
     eliminate_redundant_setlr` on the chosen encoding: ``set_last_reg``
     repairs the static verifier proves redundant or dead are deleted
     before verification.
+
+    ``machine`` (a :class:`repro.machine.spec.LowEndConfig`) feeds ISA
+    feature flags to the allocators — today just ``has_permi``, which
+    lets the parallel-move resolver (``docs/moves.md``) fold join-repair
+    register cycles into one ``permi`` permutation instruction in the
+    ``select`` and ``coalesce`` setups.
     """
     from repro.analysis.batched import prewarm_corpus
 
@@ -175,6 +184,7 @@ def run_setup(fn: Function, setup: str,
 
     config = EncodingConfig(reg_n=reg_n, diff_n=diff_n, access_order=access_order)
     encoded: Optional[EncodedFunction] = None
+    has_permi = bool(machine is not None and machine.has_permi)
 
     def checkpoint(stage: str, f: Function, **expectations) -> None:
         if pass_verifier is None:
@@ -221,6 +231,8 @@ def run_setup(fn: Function, setup: str,
         alloc = iterated_allocate(fn, reg_n, selector=selector, freq=freq)
         checkpoint("alloc:diff_select", alloc.fn, allocated=True, k=reg_n,
                    coloring=alloc.coloring, original=alloc.colored_fn)
+        move_stats = resolve_move_runs(alloc.fn, reg_n, has_permi=has_permi)
+        alloc.stats.update(move_stats.as_stats())
         # "differential remapping can always be invoked after approach 2 or
         # 3" (Section 3); kept only when the real encoding improves
         encoded = _encode_best(remap_candidates(alloc.fn), config, freq)
@@ -233,7 +245,8 @@ def run_setup(fn: Function, setup: str,
                    coloring=alloc.coloring, original=alloc.colored_fn)
     elif setup == "coalesce":
         alloc = differential_coalesce_allocate(
-            fn, reg_n, diff_n, order=access_order, use_ilp=use_ilp, freq=freq
+            fn, reg_n, diff_n, order=access_order, use_ilp=use_ilp,
+            has_permi=has_permi, freq=freq
         )
         checkpoint("alloc:diff_coalesce", alloc.fn, allocated=True, k=reg_n,
                    coloring=alloc.coloring, original=alloc.colored_fn)

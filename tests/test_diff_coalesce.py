@@ -82,6 +82,66 @@ class TestSplitAtJoins:
         ref = Interpreter().run(pressure_fn, (3,)).return_value
         assert Interpreter().run(out, (3,)).return_value == ref
 
+    def test_k_zero_splits_nothing(self, diamond_fn):
+        out, n = split_at_joins(diamond_fn, 0)
+        assert n == 0
+        ref = Interpreter().run(diamond_fn, (3,)).return_value
+        assert Interpreter().run(out, (3,)).return_value == ref
+
+    def test_critical_edge_into_loop_header(self):
+        # the entry->loop edge is critical (entry also falls to exit via
+        # the guard) and loop is a join (entry + back edge): the pred-end
+        # copies must land before each terminator and stay correct
+        fn = parse_function("""
+func f(v0):
+entry:
+    li v1, 0
+    li v2, 1
+    blt v0, v1, exit, loop
+loop:
+    add v2, v2, v1
+    addi v1, v1, 1
+    blt v1, v0, loop, exit
+exit:
+    add v3, v2, v1
+    ret v3
+""")
+        out, n = split_at_joins(fn, 8)
+        assert n > 0
+        out.validate()
+        for args in ((0,), (1,), (5,)):
+            assert (Interpreter().run(out, args).return_value
+                    == Interpreter().run(fn, args).return_value)
+
+    def test_self_loop_join(self):
+        # a block that is its own predecessor: the split copy is inserted
+        # into the joining block itself, feeding its own next iteration
+        fn = parse_function("""
+func f(v0):
+entry:
+    li v1, 0
+    li v2, 3
+    br loop
+loop:
+    add v2, v2, v2
+    addi v1, v1, 1
+    blt v1, v0, loop, exit
+exit:
+    ret v2
+""")
+        out, n = split_at_joins(fn, 8)
+        out.validate()
+        for args in ((0,), (1,), (4,)):
+            assert (Interpreter().run(out, args).return_value
+                    == Interpreter().run(fn, args).return_value)
+
+    def test_split_counts_and_fresh_names_are_consistent(self, diamond_fn):
+        base_max = diamond_fn.max_vreg_id()
+        out, n = split_at_joins(diamond_fn, 8)
+        fresh = {r.id for i in out.instructions() for r in i.defs()
+                 if r.virtual and r.id > base_max}
+        assert len(fresh) == n
+
 
 class TestEndToEnd:
     @pytest.mark.parametrize("use_ilp", [True, False])

@@ -25,21 +25,49 @@ from repro.fuzz import (
 from repro.regalloc.pipeline import run_setup
 
 # corpus chosen to exercise every mutation site class: spills (pressure ×
-# ospill), encoding/setlr (every encoded setup), swaps and slot traffic
+# ospill), encoding/setlr (every encoded setup), swaps and slot traffic,
+# and a value rotation whose parallel-move cycle survives coalescing (the
+# move-corrupt class needs physical copies in the allocated output)
 _CORPUS = [
     ("pressure", "ospill"),
     ("pressure", "baseline"),
     ("fuzz11", "remapping"),
     ("fuzz11", "coalesce"),
     ("fuzz11", "select"),
+    ("rotation", "baseline"),
+    ("rotation", "select"),
 ]
 
 _FUZZ11 = FuzzConfig(base_values=10, loop_depth=2, fresh_bias=0.5)
+
+_ROTATION = """
+func rot(v0):
+entry:
+    li v1, 1
+    li v2, 2
+    li v3, 3
+    li v4, 0
+    br loop
+loop:
+    mov v5, v1
+    mov v1, v2
+    mov v2, v3
+    mov v3, v5
+    add v6, v1, v2
+    addi v4, v4, 1
+    blt v4, v0, loop, exit
+exit:
+    add v7, v6, v3
+    ret v7
+"""
 
 
 def _build(name):
     if name == "pressure":
         return generate_pressure_function(nvals=12, seed=3)
+    if name == "rotation":
+        from repro.ir import parse_function
+        return parse_function(_ROTATION)
     return generate_fuzz_function(11, _FUZZ11)
 
 
