@@ -15,7 +15,9 @@ from repro.analysis.dataflow import (
 )
 from repro.analysis.liveness import LivenessInfo, compute_liveness
 from repro.analysis.interference import InterferenceGraph, build_interference
-from repro.analysis.dominators import compute_dominators, immediate_dominators
+from repro.analysis.dominators import (compute_dominators,
+                                       dominance_frontiers, dominator_tree,
+                                       immediate_dominators)
 from repro.analysis.loops import NaturalLoop, find_natural_loops, loop_depths
 from repro.analysis.frequency import estimate_block_frequencies
 from repro.analysis.profile import (block_frequencies_from_counts,
@@ -32,6 +34,7 @@ from repro.analysis.cache import (
     clear_analysis_cache,
     set_analysis_cache_enabled,
 )
+from repro.analysis.ssa import Phi, SSAForm, construct_ssa, destruct_ssa
 from repro.analysis.webs import split_webs
 
 __all__ = [
@@ -52,6 +55,12 @@ __all__ = [
     "build_interference",
     "compute_dominators",
     "immediate_dominators",
+    "dominator_tree",
+    "dominance_frontiers",
+    "Phi",
+    "SSAForm",
+    "construct_ssa",
+    "destruct_ssa",
     "NaturalLoop",
     "find_natural_loops",
     "loop_depths",

@@ -2,7 +2,9 @@
 
 Used by natural-loop detection, which in turn drives the static block
 frequency estimates weighting the adjacency graph (paper Section 4: "profile
-information could be incorporated ... we rely on static weight estimation").
+information could be incorporated ... we rely on static weight estimation"),
+and by SSA construction (:mod:`repro.analysis.ssa`), which places phis on
+iterated dominance frontiers and renames along the dominator tree.
 """
 
 from __future__ import annotations
@@ -11,7 +13,12 @@ from typing import Dict, List, Optional, Set
 
 from repro.ir.function import Function
 
-__all__ = ["compute_dominators", "immediate_dominators"]
+__all__ = [
+    "compute_dominators",
+    "immediate_dominators",
+    "dominator_tree",
+    "dominance_frontiers",
+]
 
 
 def compute_dominators(fn: Function) -> Dict[str, Set[str]]:
@@ -53,7 +60,50 @@ def immediate_dominators(fn: Function) -> Dict[str, Optional[str]]:
         # the idom is the strict dominator dominated by all other strict doms
         best = None
         for c in strict:
-            if all(c in dom[o] or o == c for o in strict):
+            if all(o in dom[c] or o == c for o in strict):
                 best = c
         idom[n] = best
     return idom
+
+
+def dominator_tree(fn: Function) -> Dict[str, List[str]]:
+    """Children lists of the dominator tree, keyed by block name.
+
+    Children appear in layout order, so tree walks are deterministic.
+    Unreachable blocks have no immediate dominator and show up as
+    childless, parentless leaves.
+    """
+    idom = immediate_dominators(fn)
+    children: Dict[str, List[str]] = {b.name: [] for b in fn.blocks}
+    for b in fn.blocks:
+        parent = idom.get(b.name)
+        if parent is not None:
+            children[parent].append(b.name)
+    return children
+
+
+def dominance_frontiers(fn: Function) -> Dict[str, Set[str]]:
+    """The dominance frontier of each block (Cytron et al.'s ``DF``).
+
+    ``Y`` is in ``DF(X)`` when ``X`` dominates a predecessor of ``Y`` but
+    does not strictly dominate ``Y`` itself — the classic per-edge walk:
+    for each CFG edge ``P -> Y``, every block from ``P`` up the dominator
+    tree to (but excluding) ``idom(Y)`` gains ``Y``.  Edges out of
+    unreachable predecessors are skipped (they have no idom chain).
+    """
+    idom = immediate_dominators(fn)
+    frontiers: Dict[str, Set[str]] = {b.name: set() for b in fn.blocks}
+    _, preds = fn.cfg()
+    entry = fn.entry.name
+    for b in fn.blocks:
+        y = b.name
+        if len(preds[y]) < 2:
+            continue
+        for p in preds[y]:
+            if p != entry and idom.get(p) is None:
+                continue  # unreachable predecessor
+            runner: Optional[str] = p
+            while runner is not None and runner != idom.get(y):
+                frontiers[runner].add(y)
+                runner = idom.get(runner)
+    return frontiers

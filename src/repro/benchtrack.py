@@ -29,8 +29,10 @@ from typing import Dict, Optional, Sequence
 
 __all__ = ["bench_remap_descent", "bench_sweep", "bench_sim",
            "bench_wire", "bench_analysis", "bench_moves",
+           "bench_allocators",
            "collect_benchmarks", "collect_sim_benchmarks",
            "collect_analysis_benchmarks", "collect_moves_benchmarks",
+           "collect_allocator_benchmarks",
            "write_bench_json"]
 
 BENCH_SCHEMA = 1
@@ -400,6 +402,66 @@ def bench_moves(n_workloads: int = 8,
     }
 
 
+def bench_allocators(n_workloads: int = 0,
+                     remap_restarts: int = 3) -> Dict[str, object]:
+    """Differential cross-check of every registered allocator backend.
+
+    Each MiBench workload (``n_workloads`` of them; 0 = all) runs
+    through every backend the zoo registers, simulating the final
+    function at ``bench_args`` scale.  The acceptance invariant is
+    observational: every backend must produce the same interpreter
+    return value as ``baseline`` on every workload — the allocators may
+    disagree about everything except the answer.  Per-backend totals
+    (instruction count, spills, ``set_last_reg`` repairs, cycles) give
+    the trajectory a cost axis; an SSA backend that starts spilling
+    more shows up here before it shows up in a figure.
+    """
+    from repro.machine.lowend import simulate
+    from repro.regalloc.pipeline import SETUPS, run_setup
+    from repro.regalloc.zoo import list_allocators
+    from repro.workloads import MIBENCH
+
+    workloads = MIBENCH[:n_workloads] if n_workloads else MIBENCH
+
+    rows = []
+    reference: Dict[str, object] = {}
+    for w in workloads:
+        fn = w.function()
+        for setup in SETUPS:
+            prog = run_setup(fn, setup, base_k=8, reg_n=12, diff_n=8,
+                             remap_restarts=remap_restarts, use_ilp=False)
+            result, report = simulate(prog.final_fn, w.bench_args)
+            if setup == "baseline":
+                reference[w.name] = result.return_value
+            rows.append({
+                "workload": w.name,
+                "setup": setup,
+                "instructions": prog.n_instructions,
+                "spills": prog.n_spills,
+                "setlr": prog.n_setlr,
+                "cycles": report.cycles,
+                "return_value": result.return_value,
+                "matches_baseline":
+                    result.return_value == reference[w.name],
+            })
+
+    totals = {
+        setup: {
+            key: float(sum(r[key] for r in rows if r["setup"] == setup))
+            for key in ("instructions", "spills", "setlr", "cycles")
+        }
+        for setup in SETUPS
+    }
+    return {
+        "workloads": [w.name for w in workloads],
+        "setups": list(SETUPS),
+        "backends": [info.to_dict() for info in list_allocators()],
+        "results": rows,
+        "totals": totals,
+        "identical_results": all(r["matches_baseline"] for r in rows),
+    }
+
+
 def _bits(x: float) -> bytes:
     """IEEE-754 image of ``x`` — equality down to the last bit."""
     return struct.pack("<d", x)
@@ -577,6 +639,14 @@ def collect_moves_benchmarks(**kwargs) -> Dict[str, object]:
     return {
         "schema": BENCH_SCHEMA,
         "moves": bench_moves(**kwargs),
+    }
+
+
+def collect_allocator_benchmarks(**kwargs) -> Dict[str, object]:
+    """The allocator-zoo cross-check as one JSON-ready document."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "allocators": bench_allocators(**kwargs),
     }
 
 

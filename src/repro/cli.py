@@ -139,7 +139,7 @@ def _cmd_bench(args) -> int:
     jobs = _resolve_cli_jobs(args)
     if jobs is None:
         return 2
-    table = Table(f"{args.name}: the five Section 10.1 setups",
+    table = Table(f"{args.name}: all {len(SETUPS)} registered setups",
                   ["setup", "instrs", "spills", "setlr", "cycles"])
     for setup in SETUPS:
         prog = run_setup(fn, setup, freq=freq, remap_restarts=args.restarts,
@@ -522,6 +522,47 @@ def _cmd_bench_moves(args) -> int:
     return 0 if moves["identical_results"] else 1
 
 
+def _cmd_allocators(args) -> int:
+    import json
+
+    from repro.experiments.reporting import Table
+    from repro.regalloc.zoo import list_allocators
+
+    infos = list_allocators()
+    if args.json:
+        print(json.dumps({"allocators": [i.to_dict() for i in infos]},
+                         indent=2, sort_keys=True))
+        return 0
+    table = Table(f"allocator zoo: {len(infos)} registered backends",
+                  ["name", "spill style", "diff", "ssa", "classes",
+                   "description"])
+    for info in infos:
+        table.add_row(info.name, info.spill_style,
+                      "yes" if info.differential else "no",
+                      "yes" if info.needs_ssa else "no",
+                      ",".join(info.reg_classes), info.description)
+    print(table.render())
+    return 0
+
+
+def _cmd_bench_allocators(args) -> int:
+    from repro.benchtrack import collect_allocator_benchmarks, write_bench_json
+
+    doc = write_bench_json(args.out, doc=collect_allocator_benchmarks(
+        n_workloads=args.workloads, remap_restarts=args.restarts))
+    zoo = doc["allocators"]
+    print(f"allocator zoo ({len(zoo['workloads'])} workloads x "
+          f"{len(zoo['setups'])} backends): "
+          f"equivalent={zoo['identical_results']}")
+    for name in zoo["setups"]:
+        s = zoo["totals"][name]
+        print(f"  {name:<10} instrs {s['instructions']:>6.0f}  "
+              f"spills {s['spills']:>4.0f}  setlr {s['setlr']:>4.0f}  "
+              f"cycles {s['cycles']:>9.0f}")
+    print(f"written to {args.out}")
+    return 0 if zoo["identical_results"] else 1
+
+
 def _fuzz_config_from_args(args):
     from repro.fuzz import FuzzConfig
 
@@ -650,14 +691,14 @@ def _cmd_fuzz_moves(args) -> int:
 
 def _cmd_serve(args) -> int:
     from repro.service.server import ServiceServer
-    from repro.service.store import ArtifactStore, default_store_root
+    from repro.service.store import open_store
 
     jobs = _resolve_cli_jobs(args)
     if jobs is None:
         return 2
-    store = ArtifactStore(args.store or default_store_root(),
-                          max_bytes=args.cache_bytes,
-                          hot_entries=args.hot_entries)
+    store = open_store(args.store or None, shards=args.store_shards,
+                       max_bytes=args.cache_bytes,
+                       hot_entries=args.hot_entries)
     server = ServiceServer(
         args.host, args.port, store=store, jobs=jobs,
         queue_limit=args.queue_limit, max_batch=args.max_batch,
@@ -735,13 +776,16 @@ def _request_options(args) -> dict:
 
 
 def _cmd_cache(args) -> int:
-    from repro.service.store import ArtifactStore, default_store_root
+    from repro.service.store import open_store
 
-    store = ArtifactStore(args.store or default_store_root())
+    store = open_store(args.store or None, shards=args.shards)
     if args.cache_command == "stats":
         stats = store.stats()
         print(f"store {stats['root']}: {stats['entries']} artifact(s), "
               f"{stats['bytes']} / {stats['max_bytes']} bytes")
+        for shard in stats.get("shards", ()):
+            print(f"  shard {shard['root']}: {shard['entries']} "
+                  f"artifact(s), {shard['bytes']} bytes")
         return 0
     removed = store.clear()
     print(f"store {store.root}: removed {removed} artifact(s)")
@@ -782,6 +826,9 @@ def _cmd_loadtest(args) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with all subcommands."""
+    from repro.regalloc.zoo import allocator_names
+
+    setup_choices = allocator_names()
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Differential Register Allocation' "
@@ -841,6 +888,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("list", help="list available benchmarks")
     p.set_defaults(func=_cmd_list)
 
+    p = sub.add_parser("allocators",
+                       help="list the registered allocator backends and "
+                            "their capability metadata (the zoo)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    p.set_defaults(func=_cmd_allocators)
+
     p = sub.add_parser("encode",
                        help="differentially encode an assembly file")
     p.add_argument("file")
@@ -896,11 +950,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "set_last_reg reduction stats")
     p.add_argument("targets", nargs="+",
                    help=".s file path, workload name, or 'all'")
-    p.add_argument("--setup", action="append",
-                   choices=("baseline", "remapping", "select", "ospill",
-                            "coalesce"),
+    p.add_argument("--setup", action="append", choices=setup_choices,
                    help="setup(s) to analyze (repeatable; default: the "
-                        "three differential setups)")
+                        "differential setups)")
     p.add_argument("--format", choices=("text", "json"), default="text")
     p.add_argument("--restarts", type=int, default=10,
                    help="remapping restarts (analysis is exact either way)")
@@ -992,6 +1044,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--store", default="",
                    help="artifact store directory (default: "
                         "$REPRO_SERVICE_STORE or ~/.cache/repro/service)")
+    p.add_argument("--store-shards", type=int, default=1,
+                   help="split the store across N consistent-hash "
+                        "sharded directories (1 = single flat store); "
+                        "per-shard counters appear in /statsz")
     p.add_argument("--cache-bytes", type=int, default=64 * 1024 * 1024,
                    help="artifact store size cap; LRU-evicted beyond it")
     p.add_argument("--hot-entries", type=int, default=128,
@@ -1031,9 +1087,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, default=8421)
     p.add_argument("--timeout", type=float, default=120.0,
                    help="client-side HTTP timeout")
-    p.add_argument("--setup", default="remapping",
-                   choices=("baseline", "remapping", "select", "ospill",
-                            "coalesce"))
+    p.add_argument("--setup", default="remapping", choices=setup_choices)
     p.add_argument("--base-k", type=int, default=8)
     p.add_argument("--reg-n", type=int, default=12)
     p.add_argument("--diff-n", type=int, default=8)
@@ -1063,6 +1117,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="store directory (default: "
                              "$REPRO_SERVICE_STORE or "
                              "~/.cache/repro/service)")
+        cp.add_argument("--shards", type=int, default=1,
+                        help="shard count the store was served with "
+                             "(stats/clear then cover every shard "
+                             "directory)")
         cp.set_defaults(func=_cmd_cache)
 
     p = sub.add_parser("service-smoke",
@@ -1143,6 +1201,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gap-restarts", type=int, default=20,
                    help="greedy restarts in the gap calibration")
     p.set_defaults(func=_cmd_bench_moves)
+
+    p = sub.add_parser("bench-allocators",
+                       help="run every registered allocator backend over "
+                            "mibench, cross-check interpreter results "
+                            "against baseline, and write "
+                            "BENCH_allocators.json with per-backend "
+                            "spill/code-size/cycle stats")
+    p.add_argument("--out", default="BENCH_allocators.json",
+                   help="output JSON path")
+    p.add_argument("--workloads", type=int, default=0,
+                   help="number of MIBENCH kernels (0 = all)")
+    p.add_argument("--restarts", type=int, default=3,
+                   help="remapping restarts per allocation")
+    p.set_defaults(func=_cmd_bench_allocators)
 
     return parser
 

@@ -21,7 +21,7 @@ from repro.machine.lowend import LowEndTimingModel
 from repro.machine.reuse import interpret_or_derive, record_reference_run
 from repro.machine.spec import LOWEND, LowEndConfig
 from repro.parallel import parallel_map
-from repro.regalloc.pipeline import SETUPS, AllocatedProgram, run_setup
+from repro.regalloc.pipeline import PAPER_SETUPS, AllocatedProgram, run_setup
 from repro.workloads.mibench import MIBENCH, Workload
 
 __all__ = ["BenchmarkRow", "LowEndExperiment", "run_lowend_experiment"]
@@ -227,7 +227,7 @@ def _lowend_workload(payload) -> List[BenchmarkRow]:
 
 
 def run_lowend_experiment(workloads: Sequence[Workload] = MIBENCH,
-                          setups: Sequence[str] = SETUPS,
+                          setups: Sequence[str] = PAPER_SETUPS,
                           base_k: int = 8, reg_n: int = 12, diff_n: int = 8,
                           scale: str = "default",
                           config: LowEndConfig = LOWEND,

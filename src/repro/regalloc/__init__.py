@@ -20,7 +20,10 @@ Differential schemes
   top of optimal spilling (Section 7).
 
 :mod:`repro.regalloc.pipeline` wires allocation, remapping and encoding into
-the five experimental setups of Section 10.1.
+the five experimental setups of Section 10.1, dispatching through the
+allocator zoo (:mod:`repro.regalloc.zoo`) — the pluggable backend registry
+that also hosts :mod:`repro.regalloc.ssa_spill`, the SSA-based
+spill-everywhere allocator (``docs/allocators.md``).
 """
 
 from repro.regalloc.base import (
@@ -37,7 +40,12 @@ from repro.regalloc.remap import RemapResult, differential_remap, exhaustive_rem
 from repro.regalloc.diff_select import DifferentialSelector
 from repro.regalloc.optimal_spill import optimal_spill_allocate
 from repro.regalloc.diff_coalesce import differential_coalesce_allocate
-from repro.regalloc.pipeline import AllocatedProgram, run_setup, SETUPS
+from repro.regalloc.pipeline import (AllocatedProgram, run_setup, SETUPS,
+                                     PAPER_SETUPS)
+from repro.regalloc.ssa_spill import ssa_spill_allocate
+from repro.regalloc.zoo import (AllocatorContext, AllocatorInfo,
+                                allocator_names, get_allocator,
+                                list_allocators, register_allocator)
 from repro.regalloc.selective import SelectiveResult, run_selective
 from repro.regalloc.callconv import (
     CallingConvention,
@@ -73,4 +81,12 @@ __all__ = [
     "AllocatedProgram",
     "run_setup",
     "SETUPS",
+    "PAPER_SETUPS",
+    "ssa_spill_allocate",
+    "AllocatorContext",
+    "AllocatorInfo",
+    "allocator_names",
+    "get_allocator",
+    "list_allocators",
+    "register_allocator",
 ]

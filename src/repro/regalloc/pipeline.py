@@ -1,6 +1,6 @@
 """End-to-end setups of the low-end evaluation (paper Section 10.1).
 
-Five configurations, matching the paper exactly:
+The five paper configurations, matching Section 10.1 exactly:
 
 =========== ============================================== ================
 setup       allocator                                      encoding
@@ -16,6 +16,15 @@ coalesce    differential coalesce on optimal spilling,     RegN=12, DiffN=8
 The differential setups allocate with more registers than the 3-bit field
 directly encodes — that is the whole point — and pay ``set_last_reg``
 instructions for it.
+
+Dispatch goes through the allocator zoo (:mod:`repro.regalloc.zoo`):
+this module registers the paper setups — plus the SSA spill-everywhere
+backend (``ssa_spill``, :mod:`repro.regalloc.ssa_spill`) — as backends,
+and :func:`run_setup` looks the requested one up in the registry.
+``SETUPS`` is derived from the registry, so new backends become visible
+to the CLI, the fuzz harness and the compile service by registering;
+``PAPER_SETUPS`` stays pinned to the Section 10.1 five for the figure
+reproductions.
 """
 
 from __future__ import annotations
@@ -34,14 +43,20 @@ from repro.regalloc.iterated import iterated_allocate
 from repro.regalloc.moves import resolve_move_runs
 from repro.regalloc.optimal_spill import optimal_spill_allocate
 from repro.regalloc.remap import differential_remap
+from repro.regalloc.ssa_spill import ssa_spill_allocate
+from repro.regalloc.zoo import (AllocatorContext, AllocatorInfo,
+                                allocator_names, get_allocator,
+                                register_allocator)
 
 if TYPE_CHECKING:  # the verifier is duck-typed at runtime: regalloc never
     from repro.lint import PassVerifier  # imports lint at module level
     from repro.machine.spec import LowEndConfig
 
-__all__ = ["AllocatedProgram", "run_setup", "SETUPS"]
+__all__ = ["AllocatedProgram", "run_setup", "SETUPS", "PAPER_SETUPS"]
 
-SETUPS = ("baseline", "remapping", "select", "ospill", "coalesce")
+#: the Section 10.1 configurations — the experiment grids that reproduce
+#: the paper's figures iterate exactly these
+PAPER_SETUPS = ("baseline", "remapping", "select", "ospill", "coalesce")
 
 
 @dataclass
@@ -130,6 +145,126 @@ def _encode_best(candidates, config: EncodingConfig, freq=None) -> EncodedFuncti
     return best
 
 
+# ----------------------------------------------------------------------
+# built-in backends
+# ----------------------------------------------------------------------
+# Each runner performs exactly the allocation stage of its setup —
+# including the stage checkpoints the pass verifier keys on — and
+# returns the AllocationResult.  The differential encode path (remap
+# candidates + best-encoding selection) is shared by run_setup for
+# every backend whose info says differential=True.
+
+def _run_baseline(fn: Function, ctx: AllocatorContext) -> AllocationResult:
+    alloc = iterated_allocate(fn, ctx.base_k, freq=ctx.freq)
+    ctx.checkpoint("alloc:iterated", alloc.fn, allocated=True, k=ctx.base_k,
+                   coloring=alloc.coloring, original=alloc.colored_fn)
+    return alloc
+
+
+def _run_remapping(fn: Function, ctx: AllocatorContext) -> AllocationResult:
+    alloc = iterated_allocate(fn, ctx.reg_n, freq=ctx.freq)
+    ctx.checkpoint("alloc:iterated", alloc.fn, allocated=True, k=ctx.reg_n,
+                   coloring=alloc.coloring, original=alloc.colored_fn)
+    return alloc
+
+
+def _run_select(fn: Function, ctx: AllocatorContext) -> AllocationResult:
+    selector = DifferentialSelector(ctx.reg_n, ctx.diff_n,
+                                    order=ctx.access_order)
+    alloc = iterated_allocate(fn, ctx.reg_n, selector=selector, freq=ctx.freq)
+    ctx.checkpoint("alloc:diff_select", alloc.fn, allocated=True, k=ctx.reg_n,
+                   coloring=alloc.coloring, original=alloc.colored_fn)
+    move_stats = resolve_move_runs(alloc.fn, ctx.reg_n,
+                                   has_permi=ctx.has_permi)
+    alloc.stats.update(move_stats.as_stats())
+    return alloc
+
+
+def _run_ospill(fn: Function, ctx: AllocatorContext) -> AllocationResult:
+    alloc = optimal_spill_allocate(fn, ctx.base_k, use_ilp=ctx.use_ilp,
+                                   freq=ctx.freq)
+    ctx.checkpoint("alloc:ospill", alloc.fn, allocated=True, k=ctx.base_k,
+                   coloring=alloc.coloring, original=alloc.colored_fn)
+    return alloc
+
+
+def _run_coalesce(fn: Function, ctx: AllocatorContext) -> AllocationResult:
+    alloc = differential_coalesce_allocate(
+        fn, ctx.reg_n, ctx.diff_n, order=ctx.access_order,
+        use_ilp=ctx.use_ilp, has_permi=ctx.has_permi, freq=ctx.freq,
+    )
+    ctx.checkpoint("alloc:diff_coalesce", alloc.fn, allocated=True,
+                   k=ctx.reg_n, coloring=alloc.coloring,
+                   original=alloc.colored_fn)
+    return alloc
+
+
+def _run_ssa_spill(fn: Function, ctx: AllocatorContext) -> AllocationResult:
+    alloc = ssa_spill_allocate(fn, ctx.reg_n, freq=ctx.freq)
+    ctx.checkpoint("alloc:ssa_spill", alloc.fn, allocated=True, k=ctx.reg_n,
+                   coloring=alloc.coloring, original=alloc.colored_fn)
+    # phi lowering leaves copy runs the resolver can shorten (and fold
+    # into permi when the machine has it), same as the select setup
+    move_stats = resolve_move_runs(alloc.fn, ctx.reg_n,
+                                   has_permi=ctx.has_permi)
+    alloc.stats.update(move_stats.as_stats())
+    return alloc
+
+
+register_allocator(AllocatorInfo(
+    name="baseline",
+    description="iterated register coalescing at the directly encodable "
+                "budget (k = base_k)",
+    spill_style="iterated",
+    differential=False,
+    source="George & Appel, iterated register coalescing",
+), _run_baseline)
+register_allocator(AllocatorInfo(
+    name="remapping",
+    description="iterated coalescing over the full file, then "
+                "differential remapping (paper approach 1)",
+    spill_style="iterated",
+    differential=True,
+    source="Zhuang & Pande, Section 5",
+), _run_remapping)
+register_allocator(AllocatorInfo(
+    name="select",
+    description="iterated coalescing with the differential-aware color "
+                "selector (paper approach 2)",
+    spill_style="iterated",
+    differential=True,
+    source="Zhuang & Pande, Section 6",
+), _run_select)
+register_allocator(AllocatorInfo(
+    name="ospill",
+    description="optimal (ILP) spilling at the directly encodable budget",
+    spill_style="optimal-ilp",
+    differential=False,
+    source="Appel & George, optimal spilling",
+), _run_ospill)
+register_allocator(AllocatorInfo(
+    name="coalesce",
+    description="differential coalescing on optimally spilled code "
+                "(paper approach 3)",
+    spill_style="optimal-ilp",
+    differential=True,
+    source="Zhuang & Pande, Section 7",
+), _run_coalesce)
+register_allocator(AllocatorInfo(
+    name="ssa_spill",
+    description="SSA spill-everywhere: Belady furthest-use spilling on "
+                "SSA live ranges, then greedy coloring",
+    spill_style="everywhere",
+    differential=True,
+    needs_ssa=True,
+    source="Bouchez, Darte & Rastello, spill everywhere under SSA",
+), _run_ssa_spill)
+
+#: every registered backend, registration order: the paper five first,
+#: then the zoo additions
+SETUPS = allocator_names()
+
+
 def run_setup(fn: Function, setup: str,
               base_k: int = 8, reg_n: int = 12, diff_n: int = 8,
               remap_restarts: int = 100,
@@ -143,7 +278,13 @@ def run_setup(fn: Function, setup: str,
               setlr_elim: bool = True,
               machine: Optional["LowEndConfig"] = None,
               ) -> AllocatedProgram:
-    """Run one function through one of the five Section 10.1 setups.
+    """Run one function through one registered allocation setup.
+
+    ``setup`` names any backend in the allocator zoo (``SETUPS`` lists
+    them; the Section 10.1 five are ``PAPER_SETUPS``).  Differential
+    backends are post-processed identically — remap-candidate encoding,
+    ``setlr`` elimination, decode verification — whatever allocator
+    produced the coloring.
 
     ``base_k`` is the directly encodable register count (the THUMB-like 8);
     ``reg_n``/``diff_n`` parameterise the differential setups.  With
@@ -214,47 +355,26 @@ def run_setup(fn: Function, setup: str,
         )
         return [allocated_fn, freq_remap.fn, static_remap.fn]
 
-    if setup == "baseline":
-        alloc = iterated_allocate(fn, base_k, freq=freq)
-        final = alloc.fn
-        checkpoint("alloc:iterated", final, allocated=True, k=base_k,
-                   coloring=alloc.coloring, original=alloc.colored_fn)
-    elif setup == "remapping":
-        alloc = iterated_allocate(fn, reg_n, freq=freq)
-        checkpoint("alloc:iterated", alloc.fn, allocated=True, k=reg_n,
-                   coloring=alloc.coloring, original=alloc.colored_fn)
-        encoded = _encode_best(remap_candidates(alloc.fn), config, freq)
-        final = encoded.fn
-        checkpoint("encode:remap", final, allocated=True, encoding=config)
-    elif setup == "select":
-        selector = DifferentialSelector(reg_n, diff_n, order=access_order)
-        alloc = iterated_allocate(fn, reg_n, selector=selector, freq=freq)
-        checkpoint("alloc:diff_select", alloc.fn, allocated=True, k=reg_n,
-                   coloring=alloc.coloring, original=alloc.colored_fn)
-        move_stats = resolve_move_runs(alloc.fn, reg_n, has_permi=has_permi)
-        alloc.stats.update(move_stats.as_stats())
+    try:
+        entry = get_allocator(setup)
+    except KeyError:
+        raise ValueError(
+            f"unknown setup {setup!r}; expected one of {SETUPS}") from None
+
+    ctx = AllocatorContext(
+        base_k=base_k, reg_n=reg_n, diff_n=diff_n, freq=freq,
+        use_ilp=use_ilp, has_permi=has_permi, access_order=access_order,
+        checkpoint=checkpoint,
+    )
+    alloc = entry.runner(fn, ctx)
+    if entry.info.differential:
         # "differential remapping can always be invoked after approach 2 or
         # 3" (Section 3); kept only when the real encoding improves
         encoded = _encode_best(remap_candidates(alloc.fn), config, freq)
         final = encoded.fn
         checkpoint("encode:remap", final, allocated=True, encoding=config)
-    elif setup == "ospill":
-        alloc = optimal_spill_allocate(fn, base_k, use_ilp=use_ilp, freq=freq)
-        final = alloc.fn
-        checkpoint("alloc:ospill", final, allocated=True, k=base_k,
-                   coloring=alloc.coloring, original=alloc.colored_fn)
-    elif setup == "coalesce":
-        alloc = differential_coalesce_allocate(
-            fn, reg_n, diff_n, order=access_order, use_ilp=use_ilp,
-            has_permi=has_permi, freq=freq
-        )
-        checkpoint("alloc:diff_coalesce", alloc.fn, allocated=True, k=reg_n,
-                   coloring=alloc.coloring, original=alloc.colored_fn)
-        encoded = _encode_best(remap_candidates(alloc.fn), config, freq)
-        final = encoded.fn
-        checkpoint("encode:remap", final, allocated=True, encoding=config)
     else:
-        raise ValueError(f"unknown setup {setup!r}; expected one of {SETUPS}")
+        final = alloc.fn
 
     if encoded is not None and setlr_elim:
         from repro.encoding.setlr_elim import eliminate_redundant_setlr
